@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure: it prints the
+paper-shaped rows (captured with ``-s``), writes a JSON artifact under
+``paper/results/``, and asserts the qualitative shape the paper reports.
+``pytest benchmarks/ --benchmark-only`` times the full regeneration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "paper" / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,87 @@
+"""Design-choice ablation — is tiled fusion worth exposing?
+
+DESIGN.md calls out the fusion action (with its recompute trade-off) as
+a core action-space design choice.  This bench compares the search agent
+with and without fusion candidates on memory-bound elementwise chains —
+where the paper's motivation for fusion (intermediate tensors skipping
+the memory round trip) should show up as a measurable win.
+"""
+
+from repro.baselines import BeamSearchAgent, MlirBaseline
+from repro.evaluation import write_json
+from repro.ir import FuncOp, add, empty, mul, relu, tensor
+from repro.transforms.records import TiledFusion
+
+
+def _elementwise_chain(size: int = 2048) -> FuncOp:
+    x, y = tensor([size, size]), tensor([size, size])
+    func = FuncOp("chain", [x, y])
+    first = func.append(add(x, y, empty([size, size])))
+    second = func.append(mul(first.result(), x, empty([size, size])))
+    third = func.append(relu(second.result(), empty([size, size])))
+    func.returns = [third.result()]
+    return func
+
+
+class _NoProducerView:
+    """Delegating view over a ScheduledFunction that hides producers,
+    removing every fusion candidate from the search."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def schedule_of(self, op):
+        return self._inner.schedule_of(op)
+
+    def fusable_producer_of(self, op):
+        return None
+
+    def clone(self):
+        return _NoProducerView(self._inner.clone())
+
+    def apply(self, op, record):
+        assert not isinstance(record, TiledFusion)
+        return self._inner.apply(op, record)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _NoFusionAgent(BeamSearchAgent):
+    """The search agent with fusion removed from its action space."""
+
+    name = "mlir-rl-no-fusion"
+
+    def _optimize_op(self, scheduled, op):
+        if not isinstance(scheduled, _NoProducerView):
+            scheduled = _NoProducerView(scheduled)
+        return super()._optimize_op(scheduled, op)
+
+    def run(self, func):
+        result = super().run(func)
+        return result
+
+
+def _run_ablation() -> dict:
+    func = _elementwise_chain()
+    baseline = MlirBaseline().seconds(func)
+    with_fusion = BeamSearchAgent(beam_width=2).run(func)
+    without_fusion = _NoFusionAgent(beam_width=2).run(func)
+    return {
+        "baseline_seconds": baseline,
+        "with_fusion": baseline / with_fusion.seconds,
+        "without_fusion": baseline / without_fusion.seconds,
+    }
+
+
+def test_fusion_ablation(benchmark, results_dir):
+    data = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    # fusion must never lose on a memory-bound elementwise chain, and
+    # should win measurably (intermediates stay in cache)
+    assert data["with_fusion"] >= data["without_fusion"] * 0.95
+    print(
+        f"\nfusion ablation on a 3-op elementwise chain: "
+        f"with fusion {data['with_fusion']:.2f}x, "
+        f"without {data['without_fusion']:.2f}x"
+    )
+    write_json(data, results_dir / "abl_fusion.json")

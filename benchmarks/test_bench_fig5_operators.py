@@ -1,0 +1,26 @@
+"""Figure 5 — DNN operator speedups over the MLIR baseline.
+
+Methods: MLIR RL (search agent over the paper's action space), Halide RL,
+PyTorch, PyTorch compiler.  Paper shapes asserted: PyTorch wins matmul
+(~2.16x) and conv2d (~6.71x); MLIR RL wins maxpooling (~3.3x) and beats
+Halide RL on matmul (~5.32x); elementwise ties.
+"""
+
+from repro.evaluation import render_fig5, run_fig5, write_json
+
+
+def _check_shapes(suite):
+    by_op = suite.by_operator()
+    assert by_op["matmul"]["pytorch"] > by_op["matmul"]["mlir-rl"]
+    assert by_op["conv_2d"]["pytorch"] > by_op["conv_2d"]["mlir-rl"]
+    assert by_op["maxpooling"]["mlir-rl"] > by_op["maxpooling"]["pytorch"]
+    assert by_op["matmul"]["mlir-rl"] > by_op["matmul"]["halide-rl"]
+    ratio = by_op["add"]["mlir-rl"] / by_op["add"]["pytorch"]
+    assert 0.3 < ratio < 3.0  # competitive on elementwise
+
+
+def test_fig5_operators(benchmark, results_dir):
+    suite = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    _check_shapes(suite)
+    print("\n" + render_fig5(suite))
+    write_json(suite, results_dir / "fig5_operators.json")

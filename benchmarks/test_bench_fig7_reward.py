@@ -1,0 +1,39 @@
+"""Figure 7 — immediate vs final reward.
+
+Paper shape: both reward structures reach comparable speedups per
+iteration, but the immediate variant executes the program after every
+step, inflating cost — visible in the execution counter and wall-clock.
+"""
+
+from repro.evaluation import render_training_curves, run_fig7, write_json
+
+
+def _check_shapes(data):
+    final = data["final"]
+    immediate = data["immediate"]
+    # immediate pays more program executions for the same iterations
+    assert sum(immediate["executions"]) > sum(final["executions"])
+    assert all(s > 0 for s in final["speedups"])
+    assert all(s > 0 for s in immediate["speedups"])
+
+
+def test_fig7_reward(benchmark, results_dir):
+    data = benchmark.pedantic(
+        run_fig7, kwargs={"iterations": 3}, rounds=1, iterations=1
+    )
+    _check_shapes(data)
+    print(
+        "\n"
+        + render_training_curves(
+            {
+                "final": data["final"]["speedups"],
+                "immediate": data["immediate"]["speedups"],
+                "final-execs": [float(x) for x in data["final"]["executions"]],
+                "immediate-execs": [
+                    float(x) for x in data["immediate"]["executions"]
+                ],
+            },
+            "Figure 7 — reward structure: speedups and executions",
+        )
+    )
+    write_json(data, results_dir / "fig7_reward.json")

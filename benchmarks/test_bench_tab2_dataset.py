@@ -1,0 +1,26 @@
+"""Table II — the single-operator training-set composition.
+
+Regenerates the dataset (scaled) and checks the class mix matches the
+paper's distribution (187/278/250/271/149, total 1135 at full scale).
+"""
+
+from repro.evaluation import run_tab2, write_json
+
+
+def test_tab2_dataset(benchmark, results_dir):
+    counts = benchmark.pedantic(
+        run_tab2, kwargs={"scale": 0.1}, rounds=1, iterations=1
+    )
+    full = counts["full_scale_distribution"]
+    assert full == {
+        "matmul": 187,
+        "conv_2d": 278,
+        "maxpooling": 250,
+        "add": 271,
+        "relu": 149,
+    }
+    assert counts["full_scale_total"] == 1135
+    print("\nTable II (scaled 0.1):", {
+        k: v for k, v in counts.items() if isinstance(v, int)
+    })
+    write_json(counts, results_dir / "tab2_dataset.json")

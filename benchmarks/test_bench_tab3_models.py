@@ -1,0 +1,24 @@
+"""Table III — full NN model speedups (ResNet-18, MobileNetV2, VGG).
+
+Paper shape: PyTorch and the PyTorch compiler beat MLIR RL on every
+model (compiler ratios ~16.2x / 4.1x / 6.0x) because the compute-bound
+matmul/conv kernels dominate and the RL action space cannot express
+img2col or register tiling.
+"""
+
+from repro.evaluation import render_tab3, run_tab3, write_json
+
+
+def _check_shapes(rows):
+    for model, speedups in rows.items():
+        rl = speedups["mlir-rl-greedy"]
+        assert speedups["pytorch"] > rl, model
+        assert speedups["pytorch-compiler"] > rl, model
+        assert speedups["pytorch-compiler"] >= speedups["pytorch"] * 0.8
+
+
+def test_tab3_models(benchmark, results_dir):
+    rows = benchmark.pedantic(run_tab3, rounds=1, iterations=1)
+    _check_shapes(rows)
+    print("\n" + render_tab3(rows))
+    write_json(rows, results_dir / "tab3_models.json")

@@ -1,0 +1,21 @@
+"""Table V — operation composition of the benchmarked models.
+
+Paper shape: MobileNetV2 and ResNet are generic-heavy with ~35-53
+convolutions; VGG is small (tens of ops) with 13 convolutions and
+several matmuls/poolings.
+"""
+
+from repro.evaluation import run_tab5, write_json
+
+
+def test_tab5_models(benchmark, results_dir):
+    rows = benchmark.pedantic(run_tab5, rounds=1, iterations=1)
+    assert rows["VGG"]["conv2d"] == 13
+    assert rows["VGG"]["pool"] >= 5
+    assert rows["ResNet-18"]["conv2d"] >= 20
+    assert rows["MobileNetV2"]["generic"] >= 40
+    assert rows["MobileNetV2"]["total"] > rows["VGG"]["total"]
+    print("\nTable V:")
+    for model, composition in rows.items():
+        print(f"  {model:14s} {composition}")
+    write_json(rows, results_dir / "tab5_models.json")

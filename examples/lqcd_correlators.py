@@ -1,0 +1,44 @@
+"""Optimize the LQCD correlator applications (Table IV).
+
+Builds the three correlator benchmarks (dibaryon-dibaryon,
+dibaryon-hexaquark, hexaquark-hexaquark), schedules each with MLIR RL's
+search agent and with the Halide autoscheduler (Mullapudi) baseline, and
+prints the Table IV comparison — including the paper's flip on the
+largest input, where site nests deeper than the N=12 action space leave
+MLIR RL unable to transform the dominant loops.
+
+Run:  python examples/lqcd_correlators.py
+"""
+
+from repro.baselines import GreedyAgent, MlirBaseline, MullapudiAutoscheduler
+from repro.datasets import APPLICATIONS
+
+
+def main() -> None:
+    baseline = MlirBaseline()
+    rl = GreedyAgent()
+    mullapudi = MullapudiAutoscheduler()
+
+    print(f"{'benchmark':28s} {'S':>4s} {'ops':>5s} "
+          f"{'MLIR RL':>10s} {'Mullapudi':>10s}")
+    for name, lattice, factory in APPLICATIONS:
+        func = factory()
+        depths = [op.num_loops for op in func.body]
+        base_seconds = baseline.seconds(func)
+        rl_speedup = base_seconds / rl.seconds(func)
+        mull_speedup = base_seconds / mullapudi.seconds(func)
+        print(
+            f"{name:28s} {lattice:4d} {len(func.body):5d} "
+            f"{rl_speedup:9.2f}x {mull_speedup:9.2f}x"
+            f"   (nest depths {min(depths)}-{max(depths)})"
+        )
+
+    print(
+        "\npaper Table IV: 13.25/1.17, 7.57/5.15, 2.15/4.68 — "
+        "MLIR RL wins the two smaller apps, the autoscheduler wins the "
+        "largest (S = 32)."
+    )
+
+
+if __name__ == "__main__":
+    main()

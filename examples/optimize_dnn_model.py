@@ -1,0 +1,64 @@
+"""Optimize a full neural-network model and compare against frameworks.
+
+Reproduces one row of Table III interactively: build the VGG linalg
+graph, schedule it with the MLIR RL search agent, and compare against
+the PyTorch / PyTorch-compiler kernel models.
+
+Run:  python examples/optimize_dnn_model.py [resnet18|vgg|mobilenet]
+"""
+
+import sys
+
+from repro.baselines import (
+    GreedyAgent,
+    MlirBaseline,
+    PyTorchCompiler,
+    PyTorchEager,
+)
+from repro.datasets import mobilenet_v2, resnet18, vgg16, op_composition
+
+_MODELS = {
+    "resnet18": resnet18,
+    "vgg": vgg16,
+    "mobilenet": mobilenet_v2,
+}
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vgg"
+    factory = _MODELS.get(name)
+    if factory is None:
+        raise SystemExit(f"unknown model {name!r}; pick from {list(_MODELS)}")
+
+    func = factory()
+    print(f"model: {name}  ops: {op_composition(func)}")
+
+    baseline = MlirBaseline()
+    base_seconds = baseline.seconds(func)
+    print(f"MLIR baseline: {base_seconds * 1e3:.2f} ms")
+
+    agent = GreedyAgent()
+    result = agent.run(func)
+    print(
+        f"MLIR RL:       {result.seconds * 1e3:.2f} ms "
+        f"({base_seconds / result.seconds:.2f}x)"
+    )
+
+    # Peek at a couple of discovered schedules.
+    shown = 0
+    for schedule in result.schedule.schedules():
+        if schedule.history and shown < 3:
+            moves = "; ".join(str(t) for t in schedule.history)
+            print(f"  schedule[{schedule.op.name}]: {moves}")
+            shown += 1
+
+    for method in (PyTorchEager(), PyTorchCompiler()):
+        seconds = method.seconds(func)
+        print(
+            f"{method.name + ':':14s} {seconds * 1e3:.2f} ms "
+            f"({base_seconds / seconds:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works via setuptools' legacy editable-install path on
+offline machines where PEP 517 build isolation cannot fetch ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

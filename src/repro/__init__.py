@@ -1,0 +1,22 @@
+"""MLIR RL — a reinforcement-learning environment for automatic code
+optimization in an MLIR-style compiler.
+
+Reproduction of "A Reinforcement Learning Environment for Automatic Code
+Optimization in the MLIR Compiler" (CGO 2026).  The package provides:
+
+* :mod:`repro.ir` — a mini-MLIR ``linalg``-on-tensors IR,
+* :mod:`repro.transforms` — tiling / parallelization / fusion /
+  interchange / vectorization with MLIR semantics, plus lowering to loops,
+* :mod:`repro.machine` — a deterministic CPU performance model used as the
+  execution substrate,
+* :mod:`repro.env` — the RL environment (multi-discrete action space,
+  Fig. 1 features, action masks, log-speedup reward),
+* :mod:`repro.nn` / :mod:`repro.rl` — numpy autograd, the actor-critic
+  networks (level pointers / enumerated candidates), and PPO,
+* :mod:`repro.baselines` — PyTorch-style frameworks, Halide RL, the
+  Mullapudi autoscheduler, and search agents,
+* :mod:`repro.datasets` / :mod:`repro.evaluation` — paper workloads and
+  the harness that regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"

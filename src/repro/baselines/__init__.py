@@ -1,0 +1,33 @@
+"""Compared methods: MLIR baseline, frameworks, Halide RL, the Mullapudi
+autoscheduler, and MLIR RL's search-based evaluation agents."""
+
+from .base import (
+    MethodResult,
+    MlirBaseline,
+    OptimizationMethod,
+    speedup_over_baseline,
+)
+from .halide_rl import Directive, HalideRL, directive_sets
+from .mullapudi import MullapudiAutoscheduler
+from .pytorch_like import PyTorchCompiler, PyTorchEager
+from .reference_agent import (
+    BeamSearchAgent,
+    GreedyAgent,
+    candidate_transformations,
+)
+
+__all__ = [
+    "BeamSearchAgent",
+    "Directive",
+    "GreedyAgent",
+    "HalideRL",
+    "MethodResult",
+    "MlirBaseline",
+    "MullapudiAutoscheduler",
+    "OptimizationMethod",
+    "PyTorchCompiler",
+    "PyTorchEager",
+    "candidate_transformations",
+    "directive_sets",
+    "speedup_over_baseline",
+]

@@ -1,0 +1,62 @@
+"""Common interface for every compared method.
+
+A method takes a linalg function and produces an execution time on the
+shared machine model; schedule-based methods also expose the schedule
+they chose.  Speedups are always reported against
+:class:`MlirBaseline` — the MLIR pipeline with loop-level optimization
+disabled (paper §VII-A3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..ir.ops import FuncOp
+from ..machine.executor import Executor
+from ..machine.spec import XEON_E5_2680_V4, MachineSpec
+from ..transforms.pipeline import ScheduledFunction
+
+
+@dataclass
+class MethodResult:
+    """Outcome of running one method on one function."""
+
+    seconds: float
+    schedule: ScheduledFunction | None = None
+    details: dict | None = None
+
+
+class OptimizationMethod(ABC):
+    """A compiler/framework under comparison."""
+
+    name: str = "method"
+
+    def __init__(self, spec: MachineSpec = XEON_E5_2680_V4):
+        self.spec = spec
+        self.executor = Executor(spec)
+
+    @abstractmethod
+    def run(self, func: FuncOp) -> MethodResult:
+        """Optimize and time ``func``."""
+
+    def seconds(self, func: FuncOp) -> float:
+        return self.run(func).seconds
+
+
+class MlirBaseline(OptimizationMethod):
+    """Unoptimized MLIR: original loops, -O3 codegen, single thread."""
+
+    name = "mlir-baseline"
+
+    def run(self, func: FuncOp) -> MethodResult:
+        result = self.executor.run_baseline(func)
+        return MethodResult(result.seconds)
+
+
+def speedup_over_baseline(
+    method: OptimizationMethod, func: FuncOp, baseline: MlirBaseline | None = None
+) -> float:
+    """Convenience: baseline_time / method_time."""
+    baseline = baseline or MlirBaseline(method.spec)
+    return baseline.seconds(func) / method.seconds(func)

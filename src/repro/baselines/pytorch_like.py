@@ -1,0 +1,70 @@
+"""PyTorch and PyTorch-compiler execution models (paper §VII-A4).
+
+Frameworks do not search loop schedules: every op dispatches to a
+hand-tuned library kernel (oneDNN GEMM/conv, ATen pooling/elementwise),
+priced by :mod:`repro.machine.kernels` on the shared machine spec.
+
+* **eager** mode pays a per-op dispatch overhead;
+* **compiled** mode (``torch.jit.script`` / ``torch.compile``) fuses
+  adjacent elementwise ops into single kernels and amortizes dispatch —
+  which is why the compiler column of Table III is consistently at or
+  above the eager column.
+"""
+
+from __future__ import annotations
+
+from ..ir.ops import FuncOp, LinalgOp, OpKind
+from ..machine.kernels import (
+    COMPILED_DISPATCH_SECONDS,
+    EAGER_DISPATCH_SECONDS,
+    fused_group_time,
+    kernel_time,
+)
+from .base import MethodResult, OptimizationMethod
+
+
+def _is_fusable_elementwise(op: LinalgOp) -> bool:
+    """Ops the graph compiler folds into the preceding kernel."""
+    return op.kind in (OpKind.ADD, OpKind.GENERIC) and not op.reduction_dims()
+
+
+class PyTorchEager(OptimizationMethod):
+    """PyTorch eager: one library kernel + dispatch per op."""
+
+    name = "pytorch"
+
+    def run(self, func: FuncOp) -> MethodResult:
+        total = sum(
+            kernel_time(op, self.spec, EAGER_DISPATCH_SECONDS)
+            for op in func.body
+        )
+        return MethodResult(total)
+
+
+class PyTorchCompiler(OptimizationMethod):
+    """PyTorch compiler: elementwise fusion + compiled dispatch."""
+
+    name = "pytorch-compiler"
+
+    def run(self, func: FuncOp) -> MethodResult:
+        total = 0.0
+        group: list[LinalgOp] = []
+        num_groups = 0
+        for op in func.body:
+            if _is_fusable_elementwise(op):
+                group.append(op)
+                continue
+            if group:
+                total += fused_group_time(
+                    group, self.spec, COMPILED_DISPATCH_SECONDS
+                )
+                num_groups += 1
+                group = []
+            total += kernel_time(op, self.spec, COMPILED_DISPATCH_SECONDS)
+            num_groups += 1
+        if group:
+            total += fused_group_time(
+                group, self.spec, COMPILED_DISPATCH_SECONDS
+            )
+            num_groups += 1
+        return MethodResult(total, details={"kernels": num_groups})

@@ -1,0 +1,266 @@
+"""The MLIR RL evaluation agent: beam search over the paper's action space.
+
+The paper's headline tables use a PPO policy pre-trained for ~5 node-days;
+that budget is out of reach here, so the evaluation harness substitutes a
+beam search bound to the *identical* action space, legality masks and
+schedule-length budget as the environment (see DESIGN.md).  Crucially, it
+cannot express anything the trained policy couldn't (no img2col, no
+register tiling), so the paper's losses against library kernels are
+preserved by construction; where good tilings/interchanges exist in the
+space, the search finds them like a converged policy would.
+
+Operations are traversed consumer-to-producer exactly like the
+environment; each op gets a beam search over its at-most-``tau``-step
+transformation sequence, scored by the machine model on the nests the
+op affects (its own, plus its not-yet-fused producer's).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..env.config import PAPER_CONFIG, EnvConfig
+from ..ir.ops import FuncOp, IteratorType, LinalgOp
+from ..machine.timing import nest_time
+from ..transforms.lowering import lower_scheduled_op
+from ..transforms.pipeline import ScheduledFunction
+from ..transforms.records import (
+    Interchange,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    Transformation,
+    Vectorization,
+)
+from ..transforms.scheduled_op import ScheduledOp, TransformError
+from ..transforms.vectorization import can_vectorize
+from .base import MethodResult, OptimizationMethod
+
+#: Tile sizes explored per position (a subset of the env's candidates).
+_SEARCH_SIZES = (1, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class _BeamState:
+    scheduled: ScheduledFunction
+    steps: int
+    terminal: bool
+    score: float
+    history: list[Transformation] = field(default_factory=list)
+
+
+def _rotation_permutations(num_loops: int) -> list[tuple[int, ...]]:
+    """Permutations rotating each loop to the innermost or outermost
+    position while preserving the relative order of the others."""
+    perms: set[tuple[int, ...]] = set()
+    for position in range(num_loops):
+        rest = [p for p in range(num_loops) if p != position]
+        perms.add(tuple(rest + [position]))   # position -> innermost
+        perms.add(tuple([position] + rest))   # position -> outermost
+    identity = tuple(range(num_loops))
+    perms.discard(identity)
+    return sorted(perms)
+
+
+def candidate_transformations(
+    schedule: ScheduledOp,
+    has_producer: bool,
+    config: EnvConfig,
+) -> list[Transformation]:
+    """Pruned action candidates for one beam-search expansion."""
+    if schedule.is_terminal():
+        return []
+    if schedule.num_loops > config.max_loops:
+        # Beyond the action space's N cap: the system cannot represent
+        # this op (fixed-size tile heads / features), so it is skipped.
+        return []
+    candidates: list[Transformation] = []
+    n = schedule.num_loops
+    parallel_positions = [
+        p
+        for p in range(n)
+        if schedule.iterator_type_at(p) is IteratorType.PARALLEL
+        and schedule.extent_at(p) > 1
+    ][:4]
+    tileable_positions = [
+        p for p in range(n) if schedule.extent_at(p) > 1
+    ][:4]
+
+    def tile_vector(positions: tuple[int, ...], size: int) -> tuple[int, ...]:
+        return tuple(
+            size if p in positions else 0 for p in range(n)
+        )
+
+    has_parallel_band = any(band.parallel for band in schedule.bands)
+    if not has_parallel_band and schedule.fused_into is None:
+        for count in (1, 2, 3):
+            for positions in itertools.combinations(
+                parallel_positions, min(count, len(parallel_positions))
+            ):
+                if len(positions) != count:
+                    continue
+                for size in _SEARCH_SIZES:
+                    if all(size <= schedule.extent_at(p) for p in positions):
+                        candidates.append(
+                            TiledParallelization(tile_vector(positions, size))
+                        )
+
+    if len(schedule.bands) < 2:
+        for count in (1, 2):
+            for positions in itertools.combinations(tileable_positions, count):
+                for size in (4, 8, 32, 64):
+                    if all(size <= schedule.extent_at(p) for p in positions):
+                        candidates.append(
+                            Tiling(tile_vector(positions, size))
+                        )
+
+    if has_producer:
+        for size in (8, 32):
+            positions = tuple(parallel_positions[:2])
+            if positions and all(
+                size <= schedule.extent_at(p) for p in positions
+            ):
+                candidates.append(TiledFusion(tile_vector(positions, size)))
+
+    if n >= 2 and n <= config.max_loops:
+        for perm in _rotation_permutations(n):
+            candidates.append(Interchange(perm))
+
+    if can_vectorize(schedule):
+        candidates.append(Vectorization())
+    return candidates
+
+
+class BeamSearchAgent(OptimizationMethod):
+    """MLIR RL's pre-trained-policy stand-in (see module docstring)."""
+
+    name = "mlir-rl"
+
+    def __init__(
+        self,
+        spec=None,
+        beam_width: int = 4,
+        config: EnvConfig = PAPER_CONFIG,
+    ):
+        if spec is not None:
+            super().__init__(spec)
+        else:
+            super().__init__()
+        self.beam_width = beam_width
+        self.config = config
+
+    # -- local scoring ----------------------------------------------------------
+
+    def _local_seconds(
+        self, scheduled: ScheduledFunction, op: LinalgOp
+    ) -> float:
+        """Time of the nests this op's schedule affects.
+
+        For an op fused into a consumer, the priced nest is the *root*
+        consumer's — the whole fusion subtree with its compounded
+        recompute factors — so moving a producer into the subtree never
+        hides its cost.
+        """
+        schedule = scheduled.schedule_of(op)
+        root = schedule
+        while root.fused_into is not None:
+            root = root.fused_into
+        nest = lower_scheduled_op(root)
+        skip = (
+            frozenset().union(*(f.intermediate_ids for f in nest.fused))
+            if nest.fused
+            else frozenset()
+        )
+        total = nest_time(nest, self.spec, skip_tensor_ids=skip).total
+        producer = scheduled.fusable_producer_of(op)
+        if producer is not None and producer.fused_into is None:
+            total += nest_time(
+                lower_scheduled_op(producer), self.spec
+            ).total
+        return total
+
+    # -- per-op beam ---------------------------------------------------------------
+
+    def _optimize_op(
+        self, scheduled: ScheduledFunction, op: LinalgOp
+    ) -> ScheduledFunction:
+        initial = _BeamState(
+            scheduled=scheduled,
+            steps=0,
+            terminal=False,
+            score=self._local_seconds(scheduled, op),
+        )
+        beam = [initial]
+        best = initial
+        for _ in range(self.config.max_schedule_length):
+            expansions: list[_BeamState] = []
+            for state in beam:
+                if state.terminal:
+                    continue
+                schedule = state.scheduled.schedule_of(op)
+                has_producer = (
+                    state.scheduled.fusable_producer_of(op) is not None
+                )
+                for record in candidate_transformations(
+                    schedule, has_producer, self.config
+                ):
+                    clone = state.scheduled.clone()
+                    try:
+                        clone.apply(op, record)
+                    except TransformError:
+                        continue
+                    new_state = _BeamState(
+                        scheduled=clone,
+                        steps=state.steps + 1,
+                        terminal=isinstance(record, Vectorization),
+                        score=self._local_seconds(clone, op),
+                        history=state.history + [record],
+                    )
+                    expansions.append(new_state)
+            if not expansions:
+                break
+            expansions.sort(key=lambda s: s.score)
+            beam = expansions[: self.beam_width]
+            if beam[0].score < best.score:
+                best = beam[0]
+        return best.scheduled
+
+    # -- full function ----------------------------------------------------------------
+
+    def optimize(self, func: FuncOp) -> ScheduledFunction:
+        """Schedule every op, consumer-to-producer."""
+        scheduled = ScheduledFunction(func)
+        visited: set[int] = set()
+        current: LinalgOp | None = func.body[-1] if func.body else None
+        while current is not None:
+            scheduled = self._optimize_op(scheduled, current)
+            visited.add(id(current))
+            current = self._next_op(func, current, visited)
+        return scheduled
+
+    @staticmethod
+    def _next_op(
+        func: FuncOp, current: LinalgOp, visited: set[int]
+    ) -> LinalgOp | None:
+        for producer in reversed(func.producers_of(current)):
+            if id(producer) not in visited:
+                return producer
+        for op in func.walk_consumers_first():
+            if id(op) not in visited:
+                return op
+        return None
+
+    def run(self, func: FuncOp) -> MethodResult:
+        scheduled = self.optimize(func)
+        result = self.executor.run_scheduled(scheduled)
+        return MethodResult(result.seconds, schedule=scheduled)
+
+
+class GreedyAgent(BeamSearchAgent):
+    """Beam width 1 — a fast greedy scheduler for large modules."""
+
+    name = "mlir-rl-greedy"
+
+    def __init__(self, spec=None, config: EnvConfig = PAPER_CONFIG):
+        super().__init__(spec, beam_width=1, config=config)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's shell scripts:
+
+* ``paper``     — regenerate every table/figure (JSON + text);
+* ``evaluate``  — run all methods on one benchmark suite;
+* ``train``     — train the PPO agent on the training mixture;
+* ``optimize``  — schedule one model/app and print the schedule script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from .evaluation import (
+        render_fig5,
+        render_tab3,
+        render_tab4,
+        run_fig5,
+        run_tab2,
+        run_tab3,
+        run_tab4,
+        run_tab5,
+        write_json,
+    )
+
+    out = Path(args.output)
+    suite = run_fig5(fast=args.fast)
+    print(render_fig5(suite))
+    write_json(suite, out / "fig5_operators.json")
+    rows3 = run_tab3(fast=args.fast)
+    print("\n" + render_tab3(rows3))
+    write_json(rows3, out / "tab3_models.json")
+    rows4 = run_tab4(fast=args.fast)
+    print("\n" + render_tab4(rows4))
+    write_json(rows4, out / "tab4_lqcd.json")
+    write_json(run_tab2(), out / "tab2_dataset.json")
+    write_json(run_tab5(), out / "tab5_models.json")
+    print(f"\nresults written to {out}/")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .baselines import (
+        BeamSearchAgent,
+        HalideRL,
+        PyTorchCompiler,
+        PyTorchEager,
+    )
+    from .datasets import evaluation_suite
+    from .evaluation import render_fig5, run_operator_suite
+    from .evaluation.experiments import FIG5_METHOD_OPERATORS
+
+    methods = [BeamSearchAgent(), HalideRL(), PyTorchEager(), PyTorchCompiler()]
+    cases = evaluation_suite()
+    if args.operator:
+        cases = [c for c in cases if c.operator == args.operator]
+        if not cases:
+            print(f"no benchmark cases for operator {args.operator!r}")
+            return 1
+    suite = run_operator_suite(cases, methods, FIG5_METHOD_OPERATORS)
+    print(render_fig5(suite))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .datasets import training_sampler
+    from .env import MlirRlEnv, small_config
+    from .rl import ActorCritic, PPOConfig, PPOTrainer, save_agent
+
+    config = small_config()
+    rng = np.random.default_rng(args.seed)
+    agent = ActorCritic(config, rng, hidden_size=args.hidden)
+    env = MlirRlEnv(config=config)
+    sampler = training_sampler(scale=args.scale, seed=args.seed)
+    trainer = PPOTrainer(
+        env,
+        agent,
+        sampler,
+        PPOConfig(samples_per_iteration=args.samples, minibatch_size=16),
+        seed=args.seed,
+    )
+    history = trainer.train(args.iterations)
+    for stats in history.iterations:
+        print(
+            f"iter {stats.iteration:3d}: speedup "
+            f"{stats.geomean_speedup:6.2f}x reward {stats.mean_reward:7.3f}"
+        )
+    save_agent(agent, args.checkpoint)
+    print(f"checkpoint saved to {args.checkpoint}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .baselines import GreedyAgent, MlirBaseline
+    from .datasets import (
+        dibaryon_dibaryon,
+        dibaryon_hexaquark,
+        hexaquark_hexaquark,
+        mobilenet_v2,
+        resnet18,
+        vgg16,
+    )
+    from .transforms.script import render_script
+
+    targets = {
+        "resnet18": resnet18,
+        "vgg": vgg16,
+        "mobilenet": mobilenet_v2,
+        "hexaquark-hexaquark": hexaquark_hexaquark,
+        "dibaryon-dibaryon": dibaryon_dibaryon,
+        "dibaryon-hexaquark": dibaryon_hexaquark,
+    }
+    factory = targets.get(args.target)
+    if factory is None:
+        print(f"unknown target {args.target!r}; pick from {sorted(targets)}")
+        return 1
+    func = factory()
+    baseline = MlirBaseline().seconds(func)
+    agent = GreedyAgent()
+    result = agent.run(func)
+    print(
+        f"{args.target}: {baseline * 1e3:.2f} ms -> "
+        f"{result.seconds * 1e3:.2f} ms "
+        f"({baseline / result.seconds:.2f}x)"
+    )
+    if args.script:
+        script = render_script(result.schedule)
+        Path(args.script).write_text(script)
+        print(f"schedule script written to {args.script}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MLIR RL reproduction CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    paper = commands.add_parser("paper", help="regenerate paper results")
+    paper.add_argument("--output", default="paper/results")
+    paper.add_argument("--fast", action="store_true")
+    paper.set_defaults(func=_cmd_paper)
+
+    evaluate = commands.add_parser("evaluate", help="run the Fig. 5 suite")
+    evaluate.add_argument("--operator", default=None)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    train = commands.add_parser("train", help="train the PPO agent")
+    train.add_argument("--iterations", type=int, default=5)
+    train.add_argument("--samples", type=int, default=8)
+    train.add_argument("--hidden", type=int, default=64)
+    train.add_argument("--scale", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", default="mlir_rl_agent.npz")
+    train.set_defaults(func=_cmd_train)
+
+    optimize = commands.add_parser("optimize", help="schedule one target")
+    optimize.add_argument("target")
+    optimize.add_argument("--script", default=None)
+    optimize.set_defaults(func=_cmd_optimize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Single deep-learning operator dataset (paper §VI-A, Table II).
+
+The paper collected 121 models from TensorFlow Hub / Hugging Face,
+extracted the most frequent operators, and generated variants by varying
+input shapes — 1135 single-operator training samples with the Table II
+mix.  This module reproduces that distribution with seeded generators:
+shape pools follow the layer shapes of the model families the paper
+names (ResNet/VGG/MobileNet-style vision stacks and transformer MLPs).
+
+The evaluation suite uses ResNet-style shapes *excluded* from the
+training pools (paper §VII-A2: evaluation sizes were unseen during
+training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..ir import builders
+from ..ir.ops import FuncOp
+
+#: Table II: operator counts in the single-operator training set.
+TABLE_II_DISTRIBUTION: dict[str, int] = {
+    "matmul": 187,
+    "conv_2d": 278,
+    "maxpooling": 250,
+    "add": 271,
+    "relu": 149,
+}
+
+# -- shape pools -------------------------------------------------------------
+
+_TRAIN_MATMUL_DIMS = (32, 48, 64, 96, 128, 192, 256, 384, 768)
+_EVAL_MATMUL_SHAPES = (
+    (256, 512, 1024),
+    (512, 512, 512),
+    (128, 1000, 2048),
+    (64, 2048, 512),
+)
+_TRAIN_SPATIAL = (14, 16, 28, 32, 56)
+_TRAIN_CHANNELS = (16, 24, 32, 48, 96)
+_EVAL_CONV_SHAPES = (
+    # (spatial, in_channels, out_channels, kernel, stride)
+    (56, 64, 64, 3, 1),
+    (28, 128, 128, 3, 1),
+    (14, 256, 256, 3, 1),
+    (56, 64, 128, 1, 1),
+)
+_EVAL_POOL_SHAPES = (
+    # (spatial, channels, window, stride)
+    (112, 64, 3, 2),
+    (56, 128, 3, 2),
+    (28, 256, 3, 1),
+)
+_TRAIN_ELEMWISE = (64, 96, 128, 192, 256, 384)
+_EVAL_ELEMWISE_SHAPES = ((512, 1024), (1024, 1024), (2048, 512))
+
+
+# -- single-op builders ----------------------------------------------------------
+
+
+def make_matmul(m: int, n: int, k: int) -> FuncOp:
+    """A function holding one ``linalg.matmul``."""
+    lhs = builders.tensor([m, k])
+    rhs = builders.tensor([k, n])
+    out = builders.tensor([m, n])
+    func = FuncOp(f"matmul_{m}x{n}x{k}", [lhs, rhs, out])
+    op = builders.matmul(lhs, rhs, out)
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+def make_conv_2d(
+    spatial: int, in_channels: int, out_channels: int, kernel: int, stride: int = 1
+) -> FuncOp:
+    image = builders.tensor([1, spatial, spatial, in_channels])
+    filter_ = builders.tensor([kernel, kernel, in_channels, out_channels])
+    out_spatial = (spatial - kernel) // stride + 1
+    out = builders.tensor([1, out_spatial, out_spatial, out_channels])
+    func = FuncOp(
+        f"conv_{spatial}x{in_channels}x{out_channels}k{kernel}s{stride}",
+        [image, filter_, out],
+    )
+    op = builders.conv_2d_nhwc_hwcf(image, filter_, out, (stride, stride))
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+def make_maxpool(
+    spatial: int, channels: int, window: int = 2, stride: int = 2
+) -> FuncOp:
+    image = builders.tensor([1, spatial, spatial, channels])
+    out_spatial = (spatial - window) // stride + 1
+    out = builders.tensor([1, out_spatial, out_spatial, channels])
+    func = FuncOp(
+        f"maxpool_{spatial}x{channels}w{window}s{stride}", [image, out]
+    )
+    op = builders.pooling_nhwc_max(
+        image, out, (window, window), (stride, stride)
+    )
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+def make_add(rows: int, cols: int) -> FuncOp:
+    lhs = builders.tensor([rows, cols])
+    rhs = builders.tensor([rows, cols])
+    out = builders.tensor([rows, cols])
+    func = FuncOp(f"add_{rows}x{cols}", [lhs, rhs, out])
+    op = builders.add(lhs, rhs, out)
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+def make_relu(rows: int, cols: int) -> FuncOp:
+    src = builders.tensor([rows, cols])
+    out = builders.tensor([rows, cols])
+    func = FuncOp(f"relu_{rows}x{cols}", [src, out])
+    op = builders.relu(src, out)
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+# -- random single-op sampling --------------------------------------------------
+
+
+def sample_operator(rng: np.random.Generator, kind: str | None = None) -> FuncOp:
+    """One random training operator, Table-II-weighted when kind is None."""
+    if kind is None:
+        kinds = list(TABLE_II_DISTRIBUTION)
+        weights = np.array(
+            [TABLE_II_DISTRIBUTION[k] for k in kinds], dtype=np.float64
+        )
+        kind = str(rng.choice(kinds, p=weights / weights.sum()))
+    if kind == "matmul":
+        m, n, k = (int(rng.choice(_TRAIN_MATMUL_DIMS)) for _ in range(3))
+        return make_matmul(m, n, k)
+    if kind == "conv_2d":
+        spatial = int(rng.choice(_TRAIN_SPATIAL))
+        cin = int(rng.choice(_TRAIN_CHANNELS))
+        cout = int(rng.choice(_TRAIN_CHANNELS))
+        kernel = int(rng.choice([1, 3]))
+        return make_conv_2d(spatial, cin, cout, kernel)
+    if kind == "maxpooling":
+        spatial = int(rng.choice(_TRAIN_SPATIAL))
+        channels = int(rng.choice(_TRAIN_CHANNELS))
+        window = int(rng.choice([2, 3]))
+        stride = int(rng.choice([1, 2]))
+        return make_maxpool(spatial, channels, window, stride)
+    if kind == "add":
+        rows, cols = (int(rng.choice(_TRAIN_ELEMWISE)) for _ in range(2))
+        return make_add(rows, cols)
+    if kind == "relu":
+        rows, cols = (int(rng.choice(_TRAIN_ELEMWISE)) for _ in range(2))
+        return make_relu(rows, cols)
+    raise ValueError(f"unknown operator kind {kind!r}")
+
+
+def training_suite(
+    rng: np.random.Generator | None = None, scale: float = 1.0
+) -> list[FuncOp]:
+    """The 1135-sample single-operator training set (Table II mix).
+
+    ``scale`` shrinks every class count proportionally (for tests).
+    """
+    rng = rng or np.random.default_rng(0)
+    suite: list[FuncOp] = []
+    for kind, count in TABLE_II_DISTRIBUTION.items():
+        for _ in range(max(1, round(count * scale))):
+            suite.append(sample_operator(rng, kind))
+    return suite
+
+
+@dataclass(frozen=True)
+class EvaluationCase:
+    """A named benchmark: an operator class and a function factory."""
+
+    operator: str
+    name: str
+    factory: Callable[[], FuncOp]
+
+    def build(self) -> FuncOp:
+        return self.factory()
+
+
+def evaluation_suite() -> list[EvaluationCase]:
+    """The Fig. 5 operator benchmarks (shapes unseen in training)."""
+    cases: list[EvaluationCase] = []
+    for m, n, k in _EVAL_MATMUL_SHAPES:
+        cases.append(
+            EvaluationCase(
+                "matmul", f"matmul_{m}x{n}x{k}",
+                lambda m=m, n=n, k=k: make_matmul(m, n, k),
+            )
+        )
+    for spatial, cin, cout, kernel, stride in _EVAL_CONV_SHAPES:
+        cases.append(
+            EvaluationCase(
+                "conv_2d",
+                f"conv_{spatial}c{cin}f{cout}k{kernel}",
+                lambda s=spatial, a=cin, b=cout, k=kernel, st=stride: (
+                    make_conv_2d(s, a, b, k, st)
+                ),
+            )
+        )
+    for spatial, channels, window, stride in _EVAL_POOL_SHAPES:
+        cases.append(
+            EvaluationCase(
+                "maxpooling",
+                f"maxpool_{spatial}c{channels}w{window}",
+                lambda s=spatial, c=channels, w=window, st=stride: (
+                    make_maxpool(s, c, w, st)
+                ),
+            )
+        )
+    for rows, cols in _EVAL_ELEMWISE_SHAPES:
+        cases.append(
+            EvaluationCase(
+                "add", f"add_{rows}x{cols}",
+                lambda r=rows, c=cols: make_add(r, c),
+            )
+        )
+        cases.append(
+            EvaluationCase(
+                "relu", f"relu_{rows}x{cols}",
+                lambda r=rows, c=cols: make_relu(r, c),
+            )
+        )
+    return cases

@@ -1,0 +1,255 @@
+"""LQCD correlator workloads (paper §VI-B, §VII-A2).
+
+Lattice QCD correlator codes are long sequences of deep loop nests
+(often 12+ levels) over site indices (space-time, extent ``S``) and
+small internal indices (color = 3, spin = 4, quark combinations) with
+reductions at the inner levels and permuted tensor layouts that give the
+naive lowering terrible strides.
+
+The paper's LQCD compiler is unpublished; these generators reproduce the
+structural features it emits (depth, extents, iterator mix, access
+permutations) for the three benchmark applications:
+
+* ``hexaquark_hexaquark``  (S = 12) — the deepest nests: two six-quark
+  states contract over many small internal indices; almost all loops are
+  tiny, so locality lives in the inner reduction dims that only loop
+  interchange can reach;
+* ``dibaryon_dibaryon``    (S = 24) — medium depth, medium extents;
+* ``dibaryon_hexaquark``   (S = 32) — the largest input: wide collapsed
+  contraction dimensions (quark-pair combinations over sites, extent
+  up to 4 S^2) whose working sets want tile sizes beyond MLIR RL's
+  candidate set (the paper's M = 8 sizes cap at 64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import builders
+from ..ir.affine import AffineMap, dim
+from ..ir.ops import (
+    ArithKind,
+    FuncOp,
+    IteratorType,
+    LinalgOp,
+    OpKind,
+    Value,
+    body_from_ops,
+)
+
+_P = IteratorType.PARALLEL
+_R = IteratorType.REDUCTION
+
+#: color and spin extents of lattice QCD
+_COLOR = 3
+_SPIN = 4
+
+
+def site_contraction_nest(
+    rng: np.random.Generator,
+    lattice: int,
+    depth: int,
+) -> tuple[list[Value], LinalgOp]:
+    """A correlator contraction over internal color/spin indices.
+
+    Iteration space: ``site`` parallel dims of extent ``lattice`` (up to
+    3), then ``depth - sites`` small internal dims; the inner half are
+    reductions.  Input layouts interleave internal indices *before* site
+    indices (as the physics codes store propagators), so the baseline's
+    innermost site loop strides badly until interchange fixes it.
+    """
+    num_sites = min(2, max(1, depth - 8))
+    num_internal = depth - num_sites
+    extents = [lattice] * num_sites + [
+        int(rng.choice([_COLOR, 2, 2])) for _ in range(num_internal)
+    ]
+    iterator_types = [_P] * num_sites + [
+        _P if i < num_internal // 2 else _R for i in range(num_internal)
+    ]
+    num_dims = len(extents)
+    parallel_dims = [
+        d for d, it in enumerate(iterator_types) if it is _P
+    ]
+    reduction_dims = [
+        d for d, it in enumerate(iterator_types) if it is _R
+    ]
+
+    # Output over the parallel dims, site-major (good layout).
+    out_shape = [extents[d] for d in parallel_dims]
+    out = builders.tensor(out_shape, name="corr")
+    out_map = AffineMap.get(num_dims, 0, [dim(d) for d in parallel_dims])
+
+    # Two propagator inputs: internal indices first, then sites — the
+    # permuted layout that makes the default loop order stride badly.
+    def propagator(extra: list[int]) -> tuple[Value, AffineMap]:
+        dims_order = extra + parallel_dims[: max(1, num_sites)]
+        shape = [extents[d] for d in dims_order]
+        value = builders.tensor(shape, name="prop")
+        map_ = AffineMap.get(num_dims, 0, [dim(d) for d in dims_order])
+        return value, map_
+
+    half = len(reduction_dims) // 2
+    lhs, lhs_map = propagator(reduction_dims[: half + 1] or reduction_dims)
+    rhs, rhs_map = propagator(reduction_dims[half:] or reduction_dims)
+
+    body = body_from_ops(
+        3,
+        [
+            (ArithKind.MULF, (0, 1)),
+            (ArithKind.ADDF, (2, 3)),
+        ],
+    )
+    op = LinalgOp(
+        name="linalg.generic",
+        kind=OpKind.GENERIC,
+        inputs=[lhs, rhs],
+        outputs=[out],
+        indexing_maps=[lhs_map, rhs_map, out_map],
+        iterator_types=iterator_types,
+        body=body,
+    )
+    return [lhs, rhs, out], op
+
+
+def wide_contraction_nest(
+    rng: np.random.Generator,
+    lattice: int,
+    collapse_factor: int = 1,
+) -> tuple[list[Value], LinalgOp]:
+    """A collapsed quark-pair contraction: C[t,i,j] += A[t,w,i]·B[t,w,j].
+
+    ``w`` ranges over quark-pair combinations across sites — extent
+    ``collapse_factor * lattice^2`` — so at S = 32 its working set wants
+    tile sizes larger than MLIR RL's 64 cap.
+    """
+    width = collapse_factor * lattice * lattice
+    inner = int(rng.choice([_COLOR * _SPIN, 2 * _SPIN]))
+    t = lattice
+    # dims: (t, i, j, w)
+    a = builders.tensor([t, width, inner], name="qpA")
+    b = builders.tensor([t, width, inner], name="qpB")
+    c = builders.tensor([t, inner, inner], name="qpC")
+    maps = [
+        AffineMap.get(4, 0, [dim(0), dim(3), dim(1)]),
+        AffineMap.get(4, 0, [dim(0), dim(3), dim(2)]),
+        AffineMap.get(4, 0, [dim(0), dim(1), dim(2)]),
+    ]
+    body = body_from_ops(
+        3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+    )
+    op = LinalgOp(
+        name="linalg.generic",
+        kind=OpKind.GENERIC,
+        inputs=[a, b],
+        outputs=[c],
+        indexing_maps=maps,
+        iterator_types=[_P, _P, _P, _R],
+        body=body,
+    )
+    return [a, b, c], op
+
+
+def lqcd_function(
+    rng: np.random.Generator,
+    lattice: int,
+    num_site_nests: int,
+    num_wide_nests: int,
+    site_depth_range: tuple[int, int] = (8, 10),
+    collapse_factor: int = 1,
+    name: str = "lqcd",
+) -> FuncOp:
+    """A correlator application: a sequence of independent deep nests."""
+    func = FuncOp(name, [])
+    low, high = site_depth_range
+    for _ in range(num_site_nests):
+        depth = int(rng.integers(low, high + 1))
+        values, op = site_contraction_nest(rng, lattice, depth)
+        func.arguments.extend(values)
+        func.append(op)
+    for _ in range(num_wide_nests):
+        values, op = wide_contraction_nest(rng, lattice, collapse_factor)
+        func.arguments.extend(values)
+        func.append(op)
+    func.returns = []
+    func.verify_ssa()
+    return func
+
+
+# -- the three benchmark applications (Table IV) -----------------------------------
+
+
+def hexaquark_hexaquark(seed: int = 7) -> FuncOp:
+    """S = 12: the heaviest contraction structure — deepest nests."""
+    rng = np.random.default_rng(seed)
+    return lqcd_function(
+        rng,
+        lattice=12,
+        num_site_nests=18,
+        num_wide_nests=2,
+        site_depth_range=(11, 12),
+        collapse_factor=1,
+        name="hexaquark_hexaquark",
+    )
+
+
+def dibaryon_dibaryon(seed: int = 8) -> FuncOp:
+    """S = 24: two dibaryon (six-quark) states."""
+    rng = np.random.default_rng(seed)
+    return lqcd_function(
+        rng,
+        lattice=24,
+        num_site_nests=12,
+        num_wide_nests=6,
+        site_depth_range=(9, 10),
+        collapse_factor=1,
+        name="dibaryon_dibaryon",
+    )
+
+
+def dibaryon_hexaquark(seed: int = 9) -> FuncOp:
+    """S = 32: the largest input.
+
+    Dominated by (a) wide collapsed contractions whose streaming working
+    sets are DRAM-bound at this lattice size and (b) site nests *deeper
+    than 12 levels* — beyond the environment's N = 12 action-space cap,
+    so MLIR RL cannot interchange them (the paper reports its weakest
+    result, 2.15x, exactly on this largest configuration).
+    """
+    rng = np.random.default_rng(seed)
+    return lqcd_function(
+        rng,
+        lattice=32,
+        num_site_nests=8,
+        num_wide_nests=10,
+        site_depth_range=(13, 14),
+        collapse_factor=4,
+        name="dibaryon_hexaquark",
+    )
+
+
+#: Table IV rows: (name, S, application factory).
+APPLICATIONS = (
+    ("hexaquark-hexaquark", 12, hexaquark_hexaquark),
+    ("dibaryon-dibaryon", 24, dibaryon_dibaryon),
+    ("dibaryon-hexaquark", 32, dibaryon_hexaquark),
+)
+
+
+def training_nests(
+    count: int, rng: np.random.Generator | None = None
+) -> list[FuncOp]:
+    """Single-nest training samples (the paper's 691 loop-nest variants
+    extracted from the LQCD compiler's 7 tests)."""
+    rng = rng or np.random.default_rng(3)
+    samples: list[FuncOp] = []
+    for index in range(count):
+        lattice = int(rng.choice([8, 12, 16, 24]))
+        if rng.random() < 0.75:
+            depth = int(rng.integers(8, 13))
+            values, op = site_contraction_nest(rng, lattice, depth)
+        else:
+            values, op = wide_contraction_nest(rng, lattice)
+        func = FuncOp(f"lqcd_nest_{index}", list(values))
+        func.append(op)
+        samples.append(func)
+    return samples

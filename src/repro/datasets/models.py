@@ -1,0 +1,208 @@
+"""Full neural-network model benchmarks (paper §VII-A2, Appendix C).
+
+The paper lowers PyTorch ResNet-18 / VGG / MobileNetV2 through
+Torch-MLIR into linalg; these builders construct the equivalent linalg
+op sequences directly, following each architecture's published layer
+structure at inference shapes (batch 1, 224x224 inputs).  Table V's op
+mix emerges from the structure: convolutions + pooling + a classifier
+matmul + generics (ReLU/batch-norm/add folded to elementwise generics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import builders
+from ..ir.ops import FuncOp, OpKind, Value
+
+
+@dataclass
+class _Graph:
+    """Builder state: tracks the current activation tensor."""
+
+    func: FuncOp
+    current: Value
+
+    def conv(
+        self, out_channels: int, kernel: int, stride: int = 1
+    ) -> "_Graph":
+        """A 'valid' convolution (padding elided: Torch-MLIR materializes
+        pads as separate tensor ops outside linalg; the spatial drift of a
+        few pixels does not change the op mix or cost profile)."""
+        batch, height, width, channels = self.current.type.shape
+        kernel = min(kernel, height, width)
+        filter_ = builders.tensor([kernel, kernel, channels, out_channels])
+        self.func.arguments.append(filter_)
+        out_h = max((height - kernel) // stride + 1, 1)
+        out_w = max((width - kernel) // stride + 1, 1)
+        out = builders.empty([batch, out_h, out_w, out_channels])
+        op = builders.conv_2d_nhwc_hwcf(
+            self.current, filter_, out, (stride, stride)
+        )
+        self.func.append(op)
+        self.current = op.result()
+        return self
+
+    def relu(self) -> "_Graph":
+        op = builders.relu(
+            self.current, builders.empty(self.current.type.shape)
+        )
+        self.func.append(op)
+        self.current = op.result()
+        return self
+
+    def bias_add(self) -> "_Graph":
+        other = builders.tensor(self.current.type.shape)
+        self.func.arguments.append(other)
+        op = builders.add(
+            self.current, other, builders.empty(self.current.type.shape)
+        )
+        self.func.append(op)
+        self.current = op.result()
+        return self
+
+    def maxpool(self, window: int = 2, stride: int = 2) -> "_Graph":
+        batch, height, width, channels = self.current.type.shape
+        window = min(window, height, width)
+        out_h = max((height - window) // stride + 1, 1)
+        out_w = max((width - window) // stride + 1, 1)
+        op = builders.pooling_nhwc_max(
+            self.current,
+            builders.empty([batch, out_h, out_w, channels]),
+            (window, window),
+            (stride, stride),
+        )
+        self.func.append(op)
+        self.current = op.result()
+        return self
+
+    def classifier(self, classes: int = 1000) -> "_Graph":
+        batch = self.current.type.shape[0]
+        features = self.current.type.num_elements // batch
+        flat = builders.tensor([batch, features])
+        flat.synthetic = True
+        weights = builders.tensor([features, classes])
+        self.func.arguments.append(weights)
+        op = builders.matmul(
+            flat, weights, builders.empty([batch, classes])
+        )
+        self.func.append(op)
+        self.current = op.result()
+        return self
+
+
+def _start(name: str, spatial: int = 224, channels: int = 3) -> _Graph:
+    source = builders.tensor([1, spatial, spatial, channels])
+    func = FuncOp(name, [source])
+    return _Graph(func, source)
+
+
+def resnet18() -> FuncOp:
+    """ResNet-18 at 224x224: stem + 4 stages of 2 residual blocks."""
+    graph = _start("resnet18")
+    graph.conv(64, 7, 2).relu().maxpool(3, 2)
+    channels = 64
+    for stage, out_channels in enumerate((64, 128, 256, 512)):
+        for block in range(2):
+            stride = 2 if stage > 0 and block == 0 else 1
+            graph.conv(out_channels, 3, stride).relu()
+            graph.conv(out_channels, 3, 1)
+            if stride == 2 or channels != out_channels:
+                graph.conv(out_channels, 1, stride if stride == 2 else 1)
+            graph.bias_add().relu()  # residual add + relu
+        channels = out_channels
+    graph.maxpool(7, 7)  # global pooling (as a max pool)
+    graph.classifier()
+    graph.func.returns = [graph.current]
+    return graph.func
+
+
+def vgg16() -> FuncOp:
+    """VGG-16: stacked 3x3 convs with pooling, 3 dense layers."""
+    graph = _start("vgg16")
+    plan = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for channels, repeats in plan:
+        for _ in range(repeats):
+            graph.conv(channels, 3).relu()
+        graph.maxpool(2, 2)
+    graph.classifier(4096)
+    graph.relu()
+    # second and third dense layers
+    for classes in (4096, 1000):
+        batch, features = graph.current.type.shape
+        weights = builders.tensor([features, classes])
+        graph.func.arguments.append(weights)
+        op = builders.matmul(
+            graph.current, weights, builders.empty([batch, classes])
+        )
+        graph.func.append(op)
+        graph.current = op.result()
+        if classes != 1000:
+            graph.relu()
+    graph.func.returns = [graph.current]
+    return graph.func
+
+
+def mobilenet_v2() -> FuncOp:
+    """MobileNetV2: inverted residual bottlenecks.
+
+    Depthwise convolutions lower to generics in Torch-MLIR; we model the
+    depthwise stage as a small per-channel conv plus elementwise chain,
+    keeping the op-count profile of Table V (generic-heavy).
+    """
+    graph = _start("mobilenet_v2")
+    graph.conv(32, 3, 2).relu()
+    settings = [
+        # (expansion, out_channels, repeats, stride)
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+    for expansion, out_channels, repeats, stride in settings:
+        for block in range(repeats):
+            block_stride = stride if block == 0 else 1
+            channels = graph.current.type.shape[-1]
+            if expansion != 1:
+                graph.conv(channels * expansion, 1).relu()
+            # depthwise 3x3: lowered as a grouped conv; modeled as a
+            # spatial conv over the expanded activation
+            graph.conv(graph.current.type.shape[-1], 3, block_stride)
+            graph.relu()
+            graph.conv(out_channels, 1)
+            if block_stride == 1 and channels == out_channels:
+                graph.bias_add()
+    graph.conv(1280, 1).relu()
+    graph.maxpool(7, 7)
+    graph.classifier()
+    graph.func.returns = [graph.current]
+    return graph.func
+
+
+#: Table III rows: (name, factory).
+MODELS = (
+    ("ResNet-18", resnet18),
+    ("MobileNetV2", mobilenet_v2),
+    ("VGG", vgg16),
+)
+
+
+def op_composition(func: FuncOp) -> dict[str, int]:
+    """Table V: op-kind histogram of a model."""
+    histogram = {"conv2d": 0, "pool": 0, "matmul": 0, "generic": 0, "unknown": 0}
+    for op in func.body:
+        if op.kind is OpKind.CONV:
+            histogram["conv2d"] += 1
+        elif op.kind is OpKind.POOLING:
+            histogram["pool"] += 1
+        elif op.kind is OpKind.MATMUL:
+            histogram["matmul"] += 1
+        elif op.kind in (OpKind.GENERIC, OpKind.ADD):
+            histogram["generic"] += 1
+        else:
+            histogram["unknown"] += 1
+    histogram["total"] = len(func.body)
+    return histogram

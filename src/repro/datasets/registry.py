@@ -1,0 +1,69 @@
+"""Benchmark and dataset registry.
+
+One place that names every suite the paper uses, for the evaluation
+harness, the examples and the tests:
+
+* ``dnn-operators`` — Fig. 5 single-operator benchmarks;
+* ``dnn-models`` — Table III model benchmarks;
+* ``lqcd-applications`` — Table IV applications;
+* ``training`` — the §VI training mixture (1135 singles + sequences +
+  691 LQCD nests ≈ 3959 samples at full scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..ir.ops import FuncOp
+from . import dnn_ops, lqcd, models, sequences
+
+#: Paper §VI: total dataset composition at full scale.
+FULL_DATASET_SIZES = {
+    "dnn-singles": 1135,
+    "dnn-sequences": 2133,   # 3959 total - 1135 singles - 691 LQCD
+    "lqcd-nests": 691,
+}
+
+
+def training_dataset(
+    scale: float = 1.0, seed: int = 0
+) -> list[FuncOp]:
+    """The §VI training set, optionally scaled down."""
+    rng = np.random.default_rng(seed)
+    suite = dnn_ops.training_suite(rng, scale=scale)
+    suite += sequences.sequence_suite(
+        max(1, round(FULL_DATASET_SIZES["dnn-sequences"] * scale)), rng
+    )
+    suite += lqcd.training_nests(
+        max(1, round(FULL_DATASET_SIZES["lqcd-nests"] * scale)), rng
+    )
+    return suite
+
+
+def training_sampler(
+    scale: float = 0.02, seed: int = 0
+) -> Callable[[np.random.Generator], FuncOp]:
+    """A sampler over a (scaled) training set, for the PPO trainer."""
+    dataset = training_dataset(scale=scale, seed=seed)
+
+    def sample(rng: np.random.Generator) -> FuncOp:
+        return dataset[int(rng.integers(len(dataset)))]
+
+    return sample
+
+
+def operator_benchmarks() -> list[dnn_ops.EvaluationCase]:
+    """Fig. 5 benchmarks."""
+    return dnn_ops.evaluation_suite()
+
+
+def model_benchmarks() -> list[tuple[str, Callable[[], FuncOp]]]:
+    """Table III benchmarks."""
+    return list(models.MODELS)
+
+
+def lqcd_benchmarks() -> list[tuple[str, int, Callable[[], FuncOp]]]:
+    """Table IV benchmarks: (name, S, factory)."""
+    return list(lqcd.APPLICATIONS)

@@ -1,0 +1,135 @@
+"""Random operator-sequence dataset (paper §VI-A).
+
+Sequences of L=5 deep-learning operations where each op consumes the
+previous op's output, drawn from {add, matmul, relu, conv_2d, pooling,
+sigmoid, softmax_2d} with random shapes.  Two families keep shapes
+composable: 2-D chains (matmul / elementwise / softmax) and 4-D NHWC
+chains (conv / pooling / elementwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import builders
+from ..ir.ops import FuncOp, LinalgOp, Value
+
+#: The paper's sequence length (§VI-A): balances training time against
+#: multi-operation learning.
+SEQUENCE_LENGTH = 5
+
+_2D_OPS = ("matmul", "add", "relu", "sigmoid", "softmax_2d")
+_4D_OPS = ("conv_2d", "pooling", "add", "relu", "sigmoid")
+
+
+def _append_2d(
+    func: FuncOp,
+    rng: np.random.Generator,
+    kind: str,
+    current: Value,
+) -> LinalgOp:
+    rows, cols = current.type.shape
+    if kind == "matmul":
+        inner = int(rng.choice([64, 128, 256]))
+        rhs = builders.tensor([cols, inner])
+        func.arguments.append(rhs)
+        out = builders.empty([rows, inner])
+        return func.append(builders.matmul(current, rhs, out))
+    if kind == "add":
+        rhs = builders.tensor([rows, cols])
+        func.arguments.append(rhs)
+        return func.append(
+            builders.add(current, rhs, builders.empty([rows, cols]))
+        )
+    if kind == "relu":
+        return func.append(
+            builders.relu(current, builders.empty([rows, cols]))
+        )
+    if kind == "sigmoid":
+        return func.append(
+            builders.sigmoid(current, builders.empty([rows, cols]))
+        )
+    if kind == "softmax_2d":
+        return func.append(
+            builders.softmax_2d(current, builders.empty([rows, cols]))
+        )
+    raise ValueError(f"not a 2-D op: {kind}")
+
+
+def _append_4d(
+    func: FuncOp,
+    rng: np.random.Generator,
+    kind: str,
+    current: Value,
+) -> LinalgOp:
+    batch, height, width, channels = current.type.shape
+    if kind == "conv_2d" and height >= 5 and width >= 5:
+        kernel = int(rng.choice([1, 3]))
+        out_channels = int(rng.choice([16, 32, 64]))
+        filter_ = builders.tensor([kernel, kernel, channels, out_channels])
+        func.arguments.append(filter_)
+        out = builders.empty(
+            [batch, height - kernel + 1, width - kernel + 1, out_channels]
+        )
+        return func.append(
+            builders.conv_2d_nhwc_hwcf(current, filter_, out)
+        )
+    if kind == "pooling" and height >= 4 and width >= 4:
+        out = builders.empty([batch, height // 2, width // 2, channels])
+        return func.append(
+            builders.pooling_nhwc_max(current, out, (2, 2), (2, 2))
+        )
+    if kind == "add":
+        rhs = builders.tensor([batch, height, width, channels])
+        func.arguments.append(rhs)
+        return func.append(
+            builders.add(
+                current, rhs, builders.empty([batch, height, width, channels])
+            )
+        )
+    if kind == "sigmoid":
+        return func.append(
+            builders.sigmoid(
+                current, builders.empty([batch, height, width, channels])
+            )
+        )
+    # relu fallback also covers conv/pooling on too-small activations
+    return func.append(
+        builders.relu(
+            current, builders.empty([batch, height, width, channels])
+        )
+    )
+
+
+def random_sequence(
+    rng: np.random.Generator, length: int = SEQUENCE_LENGTH
+) -> FuncOp:
+    """A random L-op chain where op i consumes op i-1's output."""
+    if rng.random() < 0.5:
+        rows = int(rng.choice([64, 128, 256]))
+        cols = int(rng.choice([64, 128, 256]))
+        source = builders.tensor([rows, cols])
+        func = FuncOp("sequence2d", [source])
+        kinds, append = _2D_OPS, _append_2d
+    else:
+        spatial = int(rng.choice([16, 28, 32]))
+        channels = int(rng.choice([16, 32, 64]))
+        source = builders.tensor([1, spatial, spatial, channels])
+        func = FuncOp("sequence4d", [source])
+        kinds, append = _4D_OPS, _append_4d
+    current = source
+    for _ in range(length):
+        kind = str(rng.choice(kinds))
+        op = append(func, rng, kind, current)
+        current = op.result()
+    func.returns = [current]
+    func.verify_ssa()
+    return func
+
+
+def sequence_suite(
+    count: int, rng: np.random.Generator | None = None
+) -> list[FuncOp]:
+    """``count`` random sequences (seeded, reproducible)."""
+    rng = rng or np.random.default_rng(1)
+    return [random_sequence(rng) for _ in range(count)]

@@ -1,0 +1,209 @@
+"""Agent-facing actions and their decoding to transformation records.
+
+The multi-discrete action (paper §IV-A1) is the Cartesian product of:
+
+* a categorical over the six transformation options;
+* N categorical distributions (one per loop level) over the M candidate
+  tile sizes — used by the three tiled transformations;
+* an interchange sub-action: either one choice among the enumerated swap
+  candidates, or one *level pointer* per sub-step.
+
+The flat action space used by the §VII-D ablation enumerates
+(transformation, parameter) combinations directly: single-level tilings
+for each tiled transformation, the swap candidates, vectorization and
+no-transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..transforms.interchange import enumerated_candidates
+from ..transforms.records import (
+    Interchange,
+    NoTransformation,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    TransformKind,
+    Transformation,
+    Vectorization,
+)
+from .config import EnvConfig, InterchangeMode
+from .spaces import Discrete, MultiDiscrete
+
+
+@dataclass(frozen=True)
+class EnvAction:
+    """One sampled action.
+
+    ``tile_indices`` indexes ``config.tile_sizes`` per loop position (for
+    tiled transformations); ``interchange_candidate`` indexes the
+    enumerated swap list; ``pointer_loop`` is the loop chosen by the
+    current level-pointer sub-step.  ``record`` optionally carries a
+    pre-decoded transformation (used by the flat-action agent and search
+    baselines) and bypasses decoding entirely.
+    """
+
+    kind: TransformKind
+    tile_indices: tuple[int, ...] | None = None
+    interchange_candidate: int | None = None
+    pointer_loop: int | None = None
+    record: Transformation | None = None
+
+    def __str__(self) -> str:
+        if self.tile_indices is not None:
+            return f"{self.kind}{list(self.tile_indices)}"
+        if self.interchange_candidate is not None:
+            return f"{self.kind}#candidate{self.interchange_candidate}"
+        if self.pointer_loop is not None:
+            return f"{self.kind}->loop{self.pointer_loop}"
+        return str(self.kind)
+
+
+def tile_sizes_from_indices(
+    indices: tuple[int, ...], num_loops: int, config: EnvConfig
+) -> tuple[int, ...]:
+    """Map per-position candidate indices to concrete tile sizes."""
+    sizes = []
+    for position in range(num_loops):
+        index = indices[position] if position < len(indices) else 0
+        sizes.append(config.tile_sizes[index])
+    return tuple(sizes)
+
+
+def decode_action(
+    action: EnvAction, num_loops: int, config: EnvConfig
+) -> Transformation | None:
+    """Decode an EnvAction into a transformation record.
+
+    Returns None for level-pointer sub-steps (the environment assembles
+    the full permutation across steps) and for all-zero tilings (a
+    no-op that still consumes a step).
+    """
+    if action.record is not None:
+        return action.record
+    if action.kind is TransformKind.NO_TRANSFORMATION:
+        return NoTransformation()
+    if action.kind is TransformKind.VECTORIZATION:
+        return Vectorization()
+    if action.kind in (
+        TransformKind.TILING,
+        TransformKind.TILED_PARALLELIZATION,
+        TransformKind.TILED_FUSION,
+    ):
+        if action.tile_indices is None:
+            raise ValueError(f"{action.kind} requires tile indices")
+        sizes = tile_sizes_from_indices(
+            action.tile_indices, num_loops, config
+        )
+        if all(size == 0 for size in sizes):
+            return None
+        if action.kind is TransformKind.TILING:
+            return Tiling(sizes)
+        if action.kind is TransformKind.TILED_PARALLELIZATION:
+            return TiledParallelization(sizes)
+        return TiledFusion(sizes)
+    if action.kind is TransformKind.INTERCHANGE:
+        if config.interchange_mode is InterchangeMode.ENUMERATED:
+            if action.interchange_candidate is None:
+                raise ValueError("enumerated interchange requires a candidate")
+            # The head (and its mask) enumerate candidates over the padded
+            # max_loops space; truncate to this op's depth.  Masking
+            # guarantees the moved positions are below num_loops.
+            candidates = enumerated_candidates(config.max_loops)
+            full = candidates[action.interchange_candidate]
+            return Interchange(tuple(full[:num_loops]))
+        return None  # level pointers: assembled by the environment
+    raise ValueError(f"unknown action kind {action.kind}")
+
+
+# ---------------------------------------------------------------------------
+# Action-space shapes
+# ---------------------------------------------------------------------------
+
+
+def multi_discrete_space(config: EnvConfig) -> MultiDiscrete:
+    """The agent's sub-action dimensions.
+
+    Layout: (transformation, tile index per level ... , interchange).
+    The interchange component is over the enumerated candidates or over
+    N loops for level pointers.
+    """
+    n = config.max_loops
+    m = config.num_tile_sizes
+    if config.interchange_mode is InterchangeMode.ENUMERATED:
+        interchange_n = max(3 * n - 6, 1)
+    else:
+        interchange_n = n
+    return MultiDiscrete((config.num_transformations, *([m] * n), interchange_n))
+
+
+def interchange_head_size(config: EnvConfig) -> int:
+    if config.interchange_mode is InterchangeMode.ENUMERATED:
+        return max(3 * config.max_loops - 6, 1)
+    return config.max_loops
+
+
+# ---------------------------------------------------------------------------
+# Flat action space (ablation, §VII-D2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlatAction:
+    """One entry of the flat action space: a fixed (transformation,
+    parameters) combination."""
+
+    kind: TransformKind
+    level: int = -1
+    tile_size: int = 0
+    permutation: tuple[int, ...] = ()
+
+    def to_record(self, num_loops: int) -> Transformation:
+        if self.kind is TransformKind.NO_TRANSFORMATION:
+            return NoTransformation()
+        if self.kind is TransformKind.VECTORIZATION:
+            return Vectorization()
+        if self.kind is TransformKind.INTERCHANGE:
+            return Interchange(self.permutation)
+        sizes = tuple(
+            self.tile_size if position == self.level else 0
+            for position in range(num_loops)
+        )
+        if self.kind is TransformKind.TILING:
+            return Tiling(sizes)
+        if self.kind is TransformKind.TILED_PARALLELIZATION:
+            return TiledParallelization(sizes)
+        return TiledFusion(sizes)
+
+
+def flat_action_table(config: EnvConfig) -> list[FlatAction]:
+    """Enumerate the flat action space.
+
+    Single-level tilings per (transformation, level, size), the swap
+    candidates, then the terminal actions.  With the paper's N=12, M=8
+    this yields hundreds of actions — the "high number of actions" the
+    ablation refers to.
+    """
+    actions: list[FlatAction] = []
+    tiled_kinds = (
+        TransformKind.TILING,
+        TransformKind.TILED_PARALLELIZATION,
+        TransformKind.TILED_FUSION,
+    )
+    for kind in tiled_kinds:
+        for level in range(config.max_loops):
+            for size in config.tile_sizes[1:]:
+                actions.append(FlatAction(kind, level=level, tile_size=size))
+    for perm in enumerated_candidates(config.max_loops):
+        actions.append(
+            FlatAction(TransformKind.INTERCHANGE, permutation=perm)
+        )
+    actions.append(FlatAction(TransformKind.VECTORIZATION))
+    actions.append(FlatAction(TransformKind.NO_TRANSFORMATION))
+    return actions
+
+
+def flat_space(config: EnvConfig) -> Discrete:
+    return Discrete(len(flat_action_table(config)))

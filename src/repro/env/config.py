@@ -1,0 +1,73 @@
+"""Environment configuration.
+
+Paper defaults (§VII-A5): up to 12 loop levels, 8 candidate tile sizes
+(including 0 = no tiling), at most 14 accessed arrays per nest, access
+rank up to 12, and schedule length 5.  Tests and training-curve
+benchmarks use smaller configs for wall-clock sanity; the constructor
+only fixes vector sizes, never semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class InterchangeMode(Enum):
+    """The two interchange action-space formulations of §IV-A1."""
+
+    ENUMERATED = "enumerated"
+    LEVEL_POINTERS = "level_pointers"
+
+
+class RewardMode(Enum):
+    """Final (terminal-only) vs immediate per-step rewards (§IV-C)."""
+
+    FINAL = "final"
+    IMMEDIATE = "immediate"
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """Static sizes and modes of the RL environment."""
+
+    max_loops: int = 12                 # N
+    tile_sizes: tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64)  # M candidates
+    max_arrays: int = 14                # L
+    max_rank: int = 12                  # D
+    max_schedule_length: int = 5        # tau
+    interchange_mode: InterchangeMode = InterchangeMode.LEVEL_POINTERS
+    reward_mode: RewardMode = RewardMode.FINAL
+
+    @property
+    def num_tile_sizes(self) -> int:
+        return len(self.tile_sizes)
+
+    @property
+    def num_transformations(self) -> int:
+        return 6
+
+    def __post_init__(self) -> None:
+        if self.tile_sizes[0] != 0:
+            raise ValueError("tile size candidates must start with 0 (no tile)")
+        if self.max_schedule_length < 1:
+            raise ValueError("schedule length must be positive")
+        if self.max_loops < 2:
+            raise ValueError("need at least two loop levels")
+
+
+def small_config(**overrides) -> EnvConfig:
+    """A compact config for tests and short training runs."""
+    defaults = dict(
+        max_loops=6,
+        tile_sizes=(0, 1, 4, 8, 16, 32),
+        max_arrays=4,
+        max_rank=4,
+        max_schedule_length=5,
+    )
+    defaults.update(overrides)
+    return EnvConfig(**defaults)
+
+
+#: The configuration used throughout the paper's experiments.
+PAPER_CONFIG = EnvConfig()

@@ -1,0 +1,281 @@
+"""The MLIR RL environment (paper §III–IV).
+
+One episode optimizes one linalg function.  Operations are traversed
+from consumers to producers (reversed body order, following producer
+links first) because linalg fusion has limited ability to fuse a
+modified producer — starting at the consumer preserves fusion
+opportunities.  The agent applies at most ``tau`` transformations per
+operation; vectorization and no-transformation end the current
+operation.
+
+Observations are the Fig. 1 representation vectors of the current
+consumer and its (last) producer plus the action masks.  Rewards are
+log-speedups measured on the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..ir.ops import FuncOp, LinalgOp
+from ..machine.executor import Executor
+from ..transforms.pipeline import ScheduledFunction
+from ..transforms.records import (
+    Interchange,
+    TransformKind,
+    Transformation,
+)
+from ..transforms.scheduled_op import ScheduledOp, TransformError
+from .actions import EnvAction, decode_action
+from .config import EnvConfig, InterchangeMode, PAPER_CONFIG
+from .features import feature_size, op_features, zero_features
+from .history import ActionHistory
+from .masking import ActionMask, compute_mask
+from .reward import RewardModel, RewardState
+
+
+@dataclass
+class Observation:
+    """What the agent sees each step."""
+
+    consumer: np.ndarray
+    producer: np.ndarray
+    mask: ActionMask
+
+
+@dataclass
+class StepResult:
+    observation: Observation | None
+    reward: float
+    done: bool
+    info: dict = field(default_factory=dict)
+
+
+class MlirRlEnv:
+    """Gym-style environment over linalg functions.
+
+    ``benchmark_provider`` yields the next function on each reset —
+    typically a dataset sampler.  A fixed function can be passed to
+    :meth:`reset` directly.
+    """
+
+    def __init__(
+        self,
+        benchmark_provider: Callable[[], FuncOp] | None = None,
+        config: EnvConfig = PAPER_CONFIG,
+        executor: Executor | None = None,
+    ):
+        self.config = config
+        self.executor = executor or Executor()
+        self.reward_model = RewardModel(self.executor, config.reward_mode)
+        self._provider = benchmark_provider
+        self._func: FuncOp | None = None
+        self.scheduled: ScheduledFunction | None = None
+        self._histories: dict[int, ActionHistory] = {}
+        self._visited: set[int] = set()
+        self._current: LinalgOp | None = None
+        self._pointer_placed: list[int] = []
+        self._reward_state: RewardState | None = None
+        self._episode_steps = 0
+
+    # -- episode control -------------------------------------------------------
+
+    def reset(self, func: FuncOp | None = None) -> Observation:
+        """Start a new episode on ``func`` (or the provider's next one)."""
+        if func is None:
+            if self._provider is None:
+                raise ValueError("no benchmark provider and no function given")
+            func = self._provider()
+        if not func.body:
+            raise ValueError(f"function @{func.name} has no linalg ops")
+        self._func = func
+        self.scheduled = ScheduledFunction(func)
+        self._histories = {}
+        self._visited = set()
+        self._pointer_placed = []
+        self._episode_steps = 0
+        self._current = func.body[-1]
+        self._reward_state = self.reward_model.start_episode(self.scheduled)
+        return self._observe()
+
+    @property
+    def current_op(self) -> LinalgOp | None:
+        return self._current
+
+    def current_schedule(self) -> ScheduledOp:
+        if self._current is None or self.scheduled is None:
+            raise RuntimeError("environment not reset")
+        return self.scheduled.schedule_of(self._current)
+
+    def _history_of(self, op: LinalgOp) -> ActionHistory:
+        history = self._histories.get(id(op))
+        if history is None:
+            history = ActionHistory(self.config)
+            self._histories[id(op)] = history
+        return history
+
+    def _producer_of_current(self) -> ScheduledOp | None:
+        if self._current is None or self.scheduled is None:
+            return None
+        return self.scheduled.fusable_producer_of(self._current)
+
+    def _observe(self) -> Observation:
+        schedule = self.current_schedule()
+        history = self._history_of(self._current)
+        producer = self._producer_of_current()
+        if producer is not None:
+            producer_vec = op_features(
+                producer, self._history_of(producer.op), self.config
+            )
+        else:
+            producer_vec = zero_features(self.config)
+        mask = compute_mask(
+            schedule,
+            self.config,
+            has_producer=producer is not None,
+            pointer_placed=tuple(self._pointer_placed),
+            in_pointer_sequence=bool(self._pointer_placed),
+        )
+        return Observation(
+            consumer=op_features(schedule, history, self.config),
+            producer=producer_vec,
+            mask=mask,
+        )
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Move to the next operation.  Returns True when episode is done."""
+        assert self._current is not None and self._func is not None
+        self._visited.add(id(self._current))
+        self._pointer_placed = []
+        # Prefer the textually-last unvisited producer of the current op.
+        for producer in reversed(self._func.producers_of(self._current)):
+            if id(producer) not in self._visited:
+                self._current = producer
+                return False
+        # Otherwise continue the reverse walk over remaining ops.
+        for op in self._func.walk_consumers_first():
+            if id(op) not in self._visited:
+                self._current = op
+                return False
+        self._current = None
+        return True
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self, action: EnvAction) -> StepResult:
+        """Apply one agent action."""
+        if self._current is None or self.scheduled is None:
+            raise RuntimeError("environment not reset or episode finished")
+        assert self._reward_state is not None
+        schedule = self.current_schedule()
+        history = self._history_of(self._current)
+        info: dict = {"action": str(action), "op": self._current.name}
+        self._episode_steps += 1
+
+        done_with_op = False
+        applied: Transformation | None = None
+        illegal = False
+
+        if (
+            self.config.interchange_mode is InterchangeMode.LEVEL_POINTERS
+            and action.kind is TransformKind.INTERCHANGE
+            and action.record is None
+        ):
+            done_with_op, applied, illegal = self._pointer_step(
+                schedule, history, action
+            )
+        else:
+            record = self._decode(schedule, action)
+            if record is None:
+                # all-zero tiling: a no-op that still consumes a step
+                history.record_noop()
+            else:
+                try:
+                    self.scheduled.apply(self._current, record)
+                    applied = record
+                    history.record(record)
+                except TransformError as error:
+                    info["error"] = str(error)
+                    illegal = True
+            if action.kind in (
+                TransformKind.NO_TRANSFORMATION,
+                TransformKind.VECTORIZATION,
+            ):
+                done_with_op = not illegal
+
+        if illegal:
+            # Illegal actions should be masked; reaching here means the
+            # agent ignored the mask.  Penalize mildly and continue.
+            reward = -0.1
+            observation = self._observe()
+            info["illegal"] = True
+            return StepResult(observation, reward, False, info)
+
+        budget_exhausted = history.step >= self.config.max_schedule_length
+        if budget_exhausted and not self._pointer_placed:
+            done_with_op = True
+
+        done = False
+        if done_with_op:
+            done = self._advance()
+
+        reward = self.reward_model.step_reward(
+            self._reward_state, self.scheduled, done
+        )
+        info["speedup"] = self.reward_model.speedup(self._reward_state)
+        info["executions"] = self._reward_state.executions
+        observation = None if done else self._observe()
+        return StepResult(observation, reward, done, info)
+
+    def _decode(
+        self, schedule: ScheduledOp, action: EnvAction
+    ) -> Transformation | None:
+        return decode_action(action, schedule.num_loops, self.config)
+
+    def _pointer_step(
+        self,
+        schedule: ScheduledOp,
+        history: ActionHistory,
+        action: EnvAction,
+    ) -> tuple[bool, Transformation | None, bool]:
+        """One level-pointer sub-step (paper Appendix B).
+
+        Returns (done_with_op, applied_record, illegal).
+        """
+        loop = action.pointer_loop
+        if loop is None or not (0 <= loop < schedule.num_loops):
+            return False, None, True
+        if loop in self._pointer_placed:
+            return False, None, True
+        position = len(self._pointer_placed)
+        self._pointer_placed.append(loop)
+        history.record_partial_interchange(position, loop)
+        if len(self._pointer_placed) < schedule.num_loops:
+            return False, None, False
+        # Permutation complete: apply it as one interchange record.
+        record = Interchange(tuple(self._pointer_placed))
+        try:
+            assert self.scheduled is not None and self._current is not None
+            self.scheduled.apply(self._current, record)
+        except TransformError:
+            self._pointer_placed = []
+            return False, None, True
+        history.record(record)
+        self._pointer_placed = []
+        return False, record, False
+
+    # -- conveniences --------------------------------------------------------------
+
+    def observation_size(self) -> int:
+        return feature_size(self.config)
+
+    def final_speedup(self) -> float:
+        """Speedup of the fully-scheduled function over its baseline."""
+        assert self.scheduled is not None and self._reward_state is not None
+        seconds = self.executor.run_scheduled(self.scheduled).seconds
+        return self._reward_state.baseline_seconds / seconds

@@ -1,0 +1,146 @@
+"""Feature extraction — the Fig. 1 representation pipeline.
+
+Each linalg operation becomes one representation vector, the
+concatenation of:
+
+* **operation type**: one-hot over {generic, matmul, conv, pooling, add,
+  unknown};
+* **loop ranges**: per level, the (log-scaled) upper bound and a one-hot
+  iterator type (lower bound and step are always 0 and 1 in linalg);
+* **vectorization pre-conditions**: one boolean flag;
+* **indexing maps**: per accessed array, the polyhedral access matrix of
+  Fig. 2 (rank x (N + 1) coefficients, clipped and scaled);
+* **operations count**: counts of + - * / exp in the scalar body;
+* **action history**: the Appendix A tensors (owned by the environment
+  and passed in).
+
+Everything is padded to the config's static sizes so vectors have a
+fixed length regardless of the op.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..ir.affine import AffineError
+from ..ir.ops import COUNTED_ARITH_KINDS, IteratorType, LinalgOp, OpKind
+from ..transforms.scheduled_op import ScheduledOp
+from ..transforms.vectorization import vectorization_precondition
+from .config import EnvConfig
+from .history import ActionHistory
+
+#: Order of the op-type one-hot (Fig. 1).
+OP_TYPE_ORDER: tuple[OpKind, ...] = (
+    OpKind.GENERIC,
+    OpKind.MATMUL,
+    OpKind.CONV,
+    OpKind.POOLING,
+    OpKind.ADD,
+    OpKind.UNKNOWN,
+)
+
+_LOG_BOUND_SCALE = 20.0   # bounds normalized by log2 up to ~1M iterations
+_COEFF_CLIP = 8.0
+
+
+def op_type_features(op: LinalgOp) -> np.ndarray:
+    onehot = np.zeros(len(OP_TYPE_ORDER), dtype=np.float32)
+    try:
+        index = OP_TYPE_ORDER.index(op.kind)
+    except ValueError:
+        index = OP_TYPE_ORDER.index(OpKind.UNKNOWN)
+    onehot[index] = 1.0
+    return onehot
+
+
+def loop_range_features(
+    schedule: ScheduledOp, config: EnvConfig
+) -> np.ndarray:
+    """Upper bounds (log-scaled) + iterator-type one-hots, in the current
+    loop-position order so the agent sees interchanges."""
+    n = config.max_loops
+    bounds = np.zeros(n, dtype=np.float32)
+    iterators = np.zeros((n, 2), dtype=np.float32)
+    for position in range(min(schedule.num_loops, n)):
+        extent = schedule.extent_at(position)
+        bounds[position] = math.log2(1 + extent) / _LOG_BOUND_SCALE
+        kind = schedule.iterator_type_at(position)
+        iterators[position, 0 if kind is IteratorType.PARALLEL else 1] = 1.0
+    return np.concatenate([bounds, iterators.ravel()])
+
+
+def indexing_map_features(op: LinalgOp, config: EnvConfig) -> np.ndarray:
+    """Stacked access matrices, padded to L x D x (N + 1)."""
+    n = config.max_loops
+    tensor = np.zeros(
+        (config.max_arrays, config.max_rank, n + 1), dtype=np.float32
+    )
+    for array_index, map_ in enumerate(op.indexing_maps):
+        if array_index >= config.max_arrays:
+            break
+        try:
+            matrix = map_.access_matrix()
+        except AffineError:
+            continue
+        for row_index, row in enumerate(matrix):
+            if row_index >= config.max_rank:
+                break
+            coeffs = row[:-1][:n]
+            for col, coeff in enumerate(coeffs):
+                tensor[array_index, row_index, col] = (
+                    np.clip(coeff, -_COEFF_CLIP, _COEFF_CLIP) / _COEFF_CLIP
+                )
+            tensor[array_index, row_index, n] = (
+                np.clip(row[-1], -_COEFF_CLIP, _COEFF_CLIP) / _COEFF_CLIP
+            )
+    return tensor.ravel()
+
+
+def operation_count_features(op: LinalgOp) -> np.ndarray:
+    counts = op.body.arith_counts()
+    vector = np.array(
+        [counts.get(kind, 0) for kind in COUNTED_ARITH_KINDS],
+        dtype=np.float32,
+    )
+    return np.log1p(vector)
+
+
+def op_features(
+    schedule: ScheduledOp,
+    history: ActionHistory,
+    config: EnvConfig,
+) -> np.ndarray:
+    """The full representation vector of one operation."""
+    op = schedule.op
+    parts = [
+        op_type_features(op),
+        loop_range_features(schedule, config),
+        np.array(
+            [1.0 if vectorization_precondition(op) else 0.0], dtype=np.float32
+        ),
+        indexing_map_features(op, config),
+        operation_count_features(op),
+        history.flatten(),
+    ]
+    return np.concatenate(parts).astype(np.float32)
+
+
+def feature_size(config: EnvConfig) -> int:
+    """Length of one op representation vector for ``config``."""
+    n = config.max_loops
+    return (
+        len(OP_TYPE_ORDER)
+        + n            # bounds
+        + 2 * n        # iterator one-hots
+        + 1            # vectorization precondition
+        + config.max_arrays * config.max_rank * (n + 1)
+        + len(COUNTED_ARITH_KINDS)
+        + ActionHistory.feature_size(config)
+    )
+
+
+def zero_features(config: EnvConfig) -> np.ndarray:
+    """All-zero vector standing in for a missing producer."""
+    return np.zeros(feature_size(config), dtype=np.float32)

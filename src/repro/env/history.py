@@ -1,0 +1,113 @@
+"""Action-history encoding (paper Appendix A).
+
+Per-transformation one-hot matrices indexed by time step:
+
+* tiled transformations (tiling / tiled parallelization / tiled fusion):
+  one ``tau x N x M`` tensor each — slice ``[t, n, m]`` is 1 when step
+  ``t`` tiled loop ``n`` with candidate size index ``m``;
+* interchange: a ``tau x N x N`` tensor — slice ``[t, i, n]`` is 1 when
+  step ``t`` placed loop ``n`` at position ``i``; level-pointer sub-steps
+  fill rows incrementally so the agent can see the partial permutation;
+* terminal actions (vectorization / no-transformation) record nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..transforms.records import (
+    Interchange,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    Transformation,
+)
+from .config import EnvConfig
+
+
+class ActionHistory:
+    """Mutable per-op action history with the Appendix A layout."""
+
+    def __init__(self, config: EnvConfig):
+        self.config = config
+        tau = config.max_schedule_length
+        n = config.max_loops
+        m = config.num_tile_sizes
+        self.tiling = np.zeros((tau, n, m), dtype=np.float32)
+        self.parallelization = np.zeros((tau, n, m), dtype=np.float32)
+        self.fusion = np.zeros((tau, n, m), dtype=np.float32)
+        self.interchange = np.zeros((tau, n, n), dtype=np.float32)
+        self.step = 0
+
+    def _tile_index(self, size: int) -> int:
+        """Index of the closest candidate tile size."""
+        sizes = self.config.tile_sizes
+        if size in sizes:
+            return sizes.index(size)
+        # Clamped tile sizes (extent smaller than candidate) map to the
+        # nearest candidate at or below the applied size.
+        best = 0
+        for index, candidate in enumerate(sizes):
+            if candidate <= size:
+                best = index
+        return best
+
+    def _record_tiled(self, matrix: np.ndarray, sizes: tuple[int, ...]) -> None:
+        for position, size in enumerate(sizes):
+            if position >= self.config.max_loops:
+                break
+            if size > 0:
+                matrix[self.step, position, self._tile_index(size)] = 1.0
+
+    def record(self, transform: Transformation) -> None:
+        """Record one completed transformation and advance the clock."""
+        if self.step >= self.config.max_schedule_length:
+            return
+        if isinstance(transform, Tiling):
+            self._record_tiled(self.tiling, transform.sizes)
+        elif isinstance(transform, TiledParallelization):
+            self._record_tiled(self.parallelization, transform.sizes)
+        elif isinstance(transform, TiledFusion):
+            self._record_tiled(self.fusion, transform.sizes)
+        elif isinstance(transform, Interchange):
+            for position, loop in enumerate(transform.permutation):
+                if position >= self.config.max_loops:
+                    break
+                self.interchange[self.step, position, loop] = 1.0
+        self.step += 1
+
+    def record_noop(self) -> None:
+        """Advance the clock without recording (all-zero tiling no-ops)."""
+        if self.step < self.config.max_schedule_length:
+            self.step += 1
+
+    def record_partial_interchange(
+        self, position: int, loop: int
+    ) -> None:
+        """Record one level-pointer sub-step without advancing the clock.
+
+        Partially selected loops are added iteratively so the policy can
+        see the current stage of the permutation (Appendix B).
+        """
+        if self.step >= self.config.max_schedule_length:
+            return
+        if position < self.config.max_loops and loop < self.config.max_loops:
+            self.interchange[self.step, position, loop] = 1.0
+
+    def flatten(self) -> np.ndarray:
+        """Concatenate all history tensors into one feature vector."""
+        return np.concatenate(
+            [
+                self.tiling.ravel(),
+                self.parallelization.ravel(),
+                self.fusion.ravel(),
+                self.interchange.ravel(),
+            ]
+        )
+
+    @staticmethod
+    def feature_size(config: EnvConfig) -> int:
+        tau = config.max_schedule_length
+        n = config.max_loops
+        m = config.num_tile_sizes
+        return 3 * tau * n * m + tau * n * n

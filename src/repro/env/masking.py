@@ -1,0 +1,156 @@
+"""Action masks (paper §IV-A2).
+
+Not every action is valid in every state.  The environment computes
+boolean masks from the current schedule state and hands them to the
+policy, which renormalizes its distributions over the legal subset:
+
+* vectorization is masked when the innermost loop exceeds 512 iterations
+  (MLIR fully unrolls it) or the op class fails the vectorizer's
+  preconditions;
+* tiled parallelization may only tile parallel iterators, and an op
+  already fused into a consumer cannot open a nested parallel region;
+* tiled fusion needs a not-yet-fused producer;
+* during a level-pointer interchange, the agent is forced to continue
+  the interchange, and already-placed loops are masked out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..transforms.interchange import enumerated_candidates
+from ..transforms.records import TransformKind
+from ..transforms.scheduled_op import ScheduledOp
+from ..transforms.tiling import legal_tile_positions
+from ..transforms.vectorization import can_vectorize
+from .actions import interchange_head_size
+from .config import EnvConfig, InterchangeMode
+
+
+@dataclass
+class ActionMask:
+    """Masks for every policy head; True = legal."""
+
+    transformation: np.ndarray          # (6,)
+    tile_tiling: np.ndarray             # (N, M) for Tiling / TiledFusion
+    tile_parallel: np.ndarray           # (N, M) for TiledParallelization
+    interchange: np.ndarray             # (3N-6,) or (N,)
+    forced_interchange: bool = False    # mid level-pointer sequence
+
+    def legal_transformations(self) -> list[TransformKind]:
+        return [
+            TransformKind(i)
+            for i, legal in enumerate(self.transformation)
+            if legal
+        ]
+
+
+def _tile_size_mask(
+    schedule: ScheduledOp, config: EnvConfig, parallel: bool
+) -> np.ndarray:
+    """(N, M) mask of legal tile-size candidates per loop position.
+
+    Candidate 0 (no tiling) is always legal; a non-zero candidate is
+    legal when the position may be tiled and the size does not exceed
+    the current extent.
+    """
+    n = config.max_loops
+    mask = np.zeros((n, config.num_tile_sizes), dtype=bool)
+    mask[:, 0] = True
+    positions = legal_tile_positions(schedule, parallel)
+    for position in range(min(schedule.num_loops, n)):
+        if not positions[position]:
+            continue
+        extent = schedule.extent_at(position)
+        for index, size in enumerate(config.tile_sizes):
+            if index == 0:
+                continue
+            if size <= extent:
+                mask[position, index] = True
+    return mask
+
+
+def _interchange_mask(
+    schedule: ScheduledOp,
+    config: EnvConfig,
+    pointer_placed: tuple[int, ...],
+) -> np.ndarray:
+    size = interchange_head_size(config)
+    mask = np.zeros(size, dtype=bool)
+    num_loops = schedule.num_loops
+    if num_loops > config.max_loops:
+        # Deeper than the head can express: interchange unavailable.
+        return mask
+    if config.interchange_mode is InterchangeMode.ENUMERATED:
+        # Real candidates for this op's depth come first in the padded
+        # head; candidates touching positions beyond num_loops are masked.
+        padded = enumerated_candidates(config.max_loops)
+        for index, perm in enumerate(padded):
+            moved = [p for p, q in enumerate(perm) if p != q]
+            if all(p < num_loops for p in moved):
+                mask[index] = True
+        return mask
+    for loop in range(min(num_loops, size)):
+        if loop not in pointer_placed:
+            mask[loop] = True
+    return mask
+
+
+def compute_mask(
+    schedule: ScheduledOp,
+    config: EnvConfig,
+    has_producer: bool,
+    pointer_placed: tuple[int, ...] = (),
+    in_pointer_sequence: bool = False,
+) -> ActionMask:
+    """The full action mask for the current state."""
+    n_options = config.num_transformations
+    transformation = np.zeros(n_options, dtype=bool)
+    if schedule.num_loops > config.max_loops:
+        # Deeper than the representation and action heads can express
+        # (N = 12 in the paper): the system cannot transform this op.
+        transformation[TransformKind.NO_TRANSFORMATION] = True
+        n = config.max_loops
+        empty_tiles = np.zeros((n, config.num_tile_sizes), dtype=bool)
+        empty_tiles[:, 0] = True
+        return ActionMask(
+            transformation,
+            empty_tiles,
+            empty_tiles.copy(),
+            np.zeros(interchange_head_size(config), dtype=bool),
+        )
+    tile_tiling = _tile_size_mask(schedule, config, parallel=False)
+    tile_parallel = _tile_size_mask(schedule, config, parallel=True)
+    interchange = _interchange_mask(schedule, config, pointer_placed)
+
+    if in_pointer_sequence:
+        transformation[TransformKind.INTERCHANGE] = True
+        return ActionMask(
+            transformation,
+            tile_tiling,
+            tile_parallel,
+            interchange,
+            forced_interchange=True,
+        )
+
+    terminal = schedule.is_terminal()
+    if not terminal:
+        any_tile = bool(tile_tiling[: schedule.num_loops, 1:].any())
+        any_parallel_tile = bool(
+            tile_parallel[: schedule.num_loops, 1:].any()
+        )
+        transformation[TransformKind.TILING] = any_tile
+        transformation[TransformKind.TILED_PARALLELIZATION] = (
+            any_parallel_tile and schedule.fused_into is None
+        )
+        transformation[TransformKind.TILED_FUSION] = any_tile and has_producer
+        transformation[TransformKind.INTERCHANGE] = (
+            schedule.num_loops >= 2 and bool(interchange.any())
+        )
+        transformation[TransformKind.VECTORIZATION] = can_vectorize(schedule)
+    transformation[TransformKind.NO_TRANSFORMATION] = True
+    return ActionMask(
+        transformation, tile_tiling, tile_parallel, interchange
+    )

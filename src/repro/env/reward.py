@@ -1,0 +1,71 @@
+"""Reward functions (paper §IV-C).
+
+The reward is the logarithm of the speedup over the unoptimized
+baseline, chosen for its additive accumulation across steps.
+
+* **final reward** (the paper's default): 0 after every step; at the end
+  of the episode the optimized code is executed once and the terminal
+  reward is ``log(baseline_time / optimized_time)``;
+* **immediate reward** (ablation, Fig. 7): after each step the code is
+  executed and the reward is the log of the *incremental* speedup; the
+  per-episode sum telescopes to the same total, but each step pays an
+  execution.
+
+``executions`` counts cost-model evaluations, the quantity that makes
+immediate rewards slow in wall-clock (Fig. 7, right).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.executor import Executor
+from ..transforms.pipeline import ScheduledFunction
+from .config import RewardMode
+
+
+@dataclass
+class RewardState:
+    """Per-episode reward bookkeeping."""
+
+    baseline_seconds: float
+    last_seconds: float
+    executions: int = 0
+
+
+class RewardModel:
+    """Computes step/terminal rewards for one episode."""
+
+    def __init__(self, executor: Executor, mode: RewardMode):
+        self.executor = executor
+        self.mode = mode
+
+    def start_episode(self, scheduled: ScheduledFunction) -> RewardState:
+        baseline = self.executor.run_baseline(scheduled.func).seconds
+        return RewardState(
+            baseline_seconds=baseline,
+            last_seconds=baseline,
+            executions=1,
+        )
+
+    def step_reward(
+        self, state: RewardState, scheduled: ScheduledFunction, done: bool
+    ) -> float:
+        """Reward for the step that just completed."""
+        if self.mode is RewardMode.IMMEDIATE:
+            seconds = self.executor.run_scheduled(scheduled).seconds
+            state.executions += 1
+            reward = math.log(state.last_seconds / seconds)
+            state.last_seconds = seconds
+            return reward
+        if not done:
+            return 0.0
+        seconds = self.executor.run_scheduled(scheduled).seconds
+        state.executions += 1
+        state.last_seconds = seconds
+        return math.log(state.baseline_seconds / seconds)
+
+    def speedup(self, state: RewardState) -> float:
+        """Speedup achieved so far (over the baseline)."""
+        return state.baseline_seconds / state.last_seconds

@@ -1,0 +1,51 @@
+"""Evaluation harness: per-experiment drivers, runners, and reporting."""
+
+from .experiments import (
+    FIG5_METHOD_OPERATORS,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_interchange_ablation,
+    run_overhead,
+    run_tab2,
+    run_tab3,
+    run_tab4,
+    run_tab5,
+)
+from .reporting import (
+    render_fig5,
+    render_tab3,
+    render_tab4,
+    render_training_curves,
+    write_json,
+)
+from .runner import (
+    CaseResult,
+    SuiteResult,
+    geomean,
+    run_function,
+    run_operator_suite,
+)
+
+__all__ = [
+    "CaseResult",
+    "FIG5_METHOD_OPERATORS",
+    "SuiteResult",
+    "geomean",
+    "render_fig5",
+    "render_tab3",
+    "render_tab4",
+    "render_training_curves",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_function",
+    "run_interchange_ablation",
+    "run_operator_suite",
+    "run_overhead",
+    "run_tab2",
+    "run_tab3",
+    "run_tab4",
+    "run_tab5",
+    "write_json",
+]

@@ -1,0 +1,80 @@
+"""Text rendering of the paper's tables and figures.
+
+Renders the driver outputs as the rows the paper prints, plus JSON
+serialization for the artifact-style ``paper/results`` outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .runner import SuiteResult
+
+
+def render_fig5(suite: SuiteResult) -> str:
+    """Figure 5 as a text table: operator classes x methods."""
+    by_operator = suite.by_operator()
+    methods = suite.methods()
+    lines = ["Figure 5 — speedup over MLIR baseline (geomean per operator)"]
+    header = f"{'operator':14s}" + "".join(f"{m:>20s}" for m in methods)
+    lines.append(header)
+    for operator in ("matmul", "conv_2d", "maxpooling", "add", "relu"):
+        if operator not in by_operator:
+            continue
+        row = f"{operator:14s}"
+        for method in methods:
+            value = by_operator[operator].get(method)
+            row += f"{value:20.2f}" if value is not None else f"{'-':>20s}"
+        lines.append(row)
+    overall = suite.overall()
+    row = f"{'overall':14s}"
+    for method in methods:
+        row += f"{overall.get(method, float('nan')):20.2f}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def render_tab3(rows: Mapping[str, Mapping[str, float]]) -> str:
+    lines = ["Table III — NN model speedups over MLIR baseline"]
+    methods = list(next(iter(rows.values())).keys()) if rows else []
+    lines.append(f"{'model':14s}" + "".join(f"{m:>20s}" for m in methods))
+    for model, speedups in rows.items():
+        row = f"{model:14s}"
+        for method in methods:
+            row += f"{speedups.get(method, float('nan')):20.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_tab4(rows: Mapping[str, Mapping[str, float]]) -> str:
+    lines = ["Table IV — LQCD application speedups over MLIR baseline"]
+    methods = list(next(iter(rows.values())).keys()) if rows else []
+    lines.append(f"{'benchmark':28s}" + "".join(f"{m:>22s}" for m in methods))
+    for name, speedups in rows.items():
+        row = f"{name:28s}"
+        for method in methods:
+            row += f"{speedups.get(method, float('nan')):22.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_training_curves(data: Mapping[str, list[float]], title: str) -> str:
+    lines = [title]
+    for label, series in data.items():
+        if not isinstance(series, list):
+            continue
+        formatted = ", ".join(f"{v:.2f}" for v in series)
+        lines.append(f"  {label:16s}: [{formatted}]")
+    return "\n".join(lines)
+
+
+def write_json(data, path: str | Path) -> Path:
+    """Write a driver result to a JSON file (creates parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(data, SuiteResult):
+        data = data.to_json()
+    path.write_text(json.dumps(data, indent=2, default=str))
+    return path

@@ -1,0 +1,138 @@
+"""Evaluation runners: methods x suites -> speedups over the MLIR baseline.
+
+The paper's metric (§VII-A3): speedup of each method's code over the
+unoptimized-MLIR baseline; the machine model is deterministic, so single
+evaluations replace the paper's median-of-5 runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..baselines.base import MlirBaseline, OptimizationMethod
+from ..datasets.dnn_ops import EvaluationCase
+from ..ir.ops import FuncOp
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class CaseResult:
+    """Speedups of every method on one benchmark case."""
+
+    case: str
+    operator: str
+    baseline_seconds: float
+    speedups: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SuiteResult:
+    """All case results plus aggregates."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+
+    def methods(self) -> list[str]:
+        names: list[str] = []
+        for case in self.cases:
+            for name in case.speedups:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def by_operator(self) -> dict[str, dict[str, float]]:
+        """Geomean speedup per (operator class, method) — the Fig. 5
+        aggregation."""
+        grouped: dict[str, dict[str, list[float]]] = {}
+        for case in self.cases:
+            bucket = grouped.setdefault(case.operator, {})
+            for method, speedup in case.speedups.items():
+                bucket.setdefault(method, []).append(speedup)
+        return {
+            operator: {
+                method: geomean(values) for method, values in methods.items()
+            }
+            for operator, methods in grouped.items()
+        }
+
+    def overall(self) -> dict[str, float]:
+        totals: dict[str, list[float]] = {}
+        for case in self.cases:
+            for method, speedup in case.speedups.items():
+                totals.setdefault(method, []).append(speedup)
+        return {method: geomean(values) for method, values in totals.items()}
+
+    def to_json(self) -> dict:
+        return {
+            "cases": [
+                {
+                    "case": c.case,
+                    "operator": c.operator,
+                    "baseline_seconds": c.baseline_seconds,
+                    "speedups": c.speedups,
+                }
+                for c in self.cases
+            ],
+            "by_operator": self.by_operator(),
+            "overall": self.overall(),
+        }
+
+
+def run_function(
+    func: FuncOp,
+    methods: Sequence[OptimizationMethod],
+    name: str | None = None,
+    operator: str = "",
+    baseline: MlirBaseline | None = None,
+) -> CaseResult:
+    """Speedups of each method on one function."""
+    baseline = baseline or MlirBaseline(
+        methods[0].spec if methods else MlirBaseline().spec
+    )
+    base_seconds = baseline.seconds(func)
+    result = CaseResult(
+        case=name or func.name,
+        operator=operator,
+        baseline_seconds=base_seconds,
+    )
+    for method in methods:
+        seconds = method.seconds(func)
+        result.speedups[method.name] = base_seconds / seconds
+    return result
+
+
+def run_operator_suite(
+    cases: Sequence[EvaluationCase],
+    methods: Sequence[OptimizationMethod],
+    method_filter: dict[str, set[str]] | None = None,
+) -> SuiteResult:
+    """Run methods across operator benchmarks.
+
+    ``method_filter`` maps a method name to the operator classes it
+    supports (e.g. Halide RL does not handle conv2d); unsupported
+    combinations are skipped, as in Fig. 5.
+    """
+    suite = SuiteResult()
+    baseline = MlirBaseline(methods[0].spec) if methods else MlirBaseline()
+    for case in cases:
+        func = case.build()
+        base_seconds = baseline.seconds(func)
+        result = CaseResult(
+            case=case.name,
+            operator=case.operator,
+            baseline_seconds=base_seconds,
+        )
+        for method in methods:
+            if method_filter and method.name in method_filter:
+                if case.operator not in method_filter[method.name]:
+                    continue
+            result.speedups[method.name] = base_seconds / method.seconds(func)
+        suite.cases.append(result)
+    return suite

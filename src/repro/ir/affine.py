@@ -1,0 +1,640 @@
+"""Affine expressions and affine maps, modelled on MLIR's affine layer.
+
+An :class:`AffineExpr` is a tree over loop dimensions (``d0, d1, ...``),
+symbols (``s0, s1, ...``) and integer constants, combined with ``+``, ``-``,
+``*``, ``floordiv``, ``ceildiv`` and ``mod``.  An :class:`AffineMap` is a
+list of result expressions over a fixed number of dimensions and symbols,
+written ``(d0, d1) -> (d0 + 1, 3 * d1)`` in MLIR's textual syntax.
+
+The module supports the operations the rest of the system needs:
+
+* construction and simplification (constant folding, ``x * 0``, ``x + 0``),
+* evaluation at concrete points,
+* extraction of the *access matrix* used by the feature extractor
+  (Fig. 2 of the paper): a ``rank x (num_dims + 1)`` coefficient matrix,
+* permutation of dimensions (for loop interchange),
+* composition with dimension substitutions (for tiling offsets),
+* parsing and printing of MLIR's textual syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class AffineError(ValueError):
+    """Raised for malformed affine expressions or maps."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class AffineExpr:
+    """Base class for affine expression trees.
+
+    Instances are immutable; arithmetic operators build new trees with
+    light-weight simplification so that printed output stays readable.
+    """
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("+", self, _wrap(other))
+
+    def __radd__(self, other: int) -> "AffineExpr":
+        return _binary("+", _wrap(other), self)
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("+", self, _binary("*", _wrap(other), AffineConstant(-1)))
+
+    def __rsub__(self, other: int) -> "AffineExpr":
+        return _binary("+", _wrap(other), _binary("*", self, AffineConstant(-1)))
+
+    def __mul__(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("*", self, _wrap(other))
+
+    def __rmul__(self, other: int) -> "AffineExpr":
+        return _binary("*", _wrap(other), self)
+
+    def __neg__(self) -> "AffineExpr":
+        return _binary("*", self, AffineConstant(-1))
+
+    def floordiv(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("floordiv", self, _wrap(other))
+
+    def ceildiv(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("ceildiv", self, _wrap(other))
+
+    def mod(self, other: "AffineExpr | int") -> "AffineExpr":
+        return _binary("mod", self, _wrap(other))
+
+    # -- queries -----------------------------------------------------------
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        """Evaluate the expression at integer points."""
+        raise NotImplementedError
+
+    def dims_used(self) -> set[int]:
+        """Positions of the loop dimensions referenced by this expression."""
+        raise NotImplementedError
+
+    def is_pure_affine(self) -> bool:
+        """True when the tree contains no floordiv/ceildiv/mod."""
+        raise NotImplementedError
+
+    def substitute_dims(self, replacements: dict[int, "AffineExpr"]) -> "AffineExpr":
+        """Return a copy with ``d<i>`` replaced per ``replacements``."""
+        raise NotImplementedError
+
+    def linear_coefficients(self, num_dims: int) -> list[int] | None:
+        """Coefficients ``[c0..c(n-1), const]`` if the expr is linear.
+
+        Returns None for non-linear expressions (e.g. ``d0 * d1`` or any
+        floordiv/mod).  This feeds the access-matrix feature (Fig. 2).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AffineExpr({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AffineExpr) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+@dataclass(frozen=True, eq=False)
+class AffineDim(AffineExpr):
+    """A loop dimension ``d<position>``."""
+
+    position: int
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        if self.position >= len(dims):
+            raise AffineError(
+                f"dimension d{self.position} out of range for point {list(dims)}"
+            )
+        return dims[self.position]
+
+    def dims_used(self) -> set[int]:
+        return {self.position}
+
+    def is_pure_affine(self) -> bool:
+        return True
+
+    def substitute_dims(self, replacements: dict[int, AffineExpr]) -> AffineExpr:
+        return replacements.get(self.position, self)
+
+    def linear_coefficients(self, num_dims: int) -> list[int] | None:
+        coeffs = [0] * (num_dims + 1)
+        if self.position >= num_dims:
+            return None
+        coeffs[self.position] = 1
+        return coeffs
+
+    def __str__(self) -> str:
+        return f"d{self.position}"
+
+
+@dataclass(frozen=True, eq=False)
+class AffineSymbol(AffineExpr):
+    """A symbolic parameter ``s<position>`` (bound outside the loop nest)."""
+
+    position: int
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        if self.position >= len(symbols):
+            raise AffineError(f"symbol s{self.position} unbound")
+        return symbols[self.position]
+
+    def dims_used(self) -> set[int]:
+        return set()
+
+    def is_pure_affine(self) -> bool:
+        return True
+
+    def substitute_dims(self, replacements: dict[int, AffineExpr]) -> AffineExpr:
+        return self
+
+    def linear_coefficients(self, num_dims: int) -> list[int] | None:
+        return None
+
+    def __str__(self) -> str:
+        return f"s{self.position}"
+
+
+@dataclass(frozen=True, eq=False)
+class AffineConstant(AffineExpr):
+    """An integer constant."""
+
+    value: int
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        return self.value
+
+    def dims_used(self) -> set[int]:
+        return set()
+
+    def is_pure_affine(self) -> bool:
+        return True
+
+    def substitute_dims(self, replacements: dict[int, AffineExpr]) -> AffineExpr:
+        return self
+
+    def linear_coefficients(self, num_dims: int) -> list[int] | None:
+        coeffs = [0] * (num_dims + 1)
+        coeffs[-1] = self.value
+        return coeffs
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+_PRECEDENCE = {"+": 1, "*": 2, "floordiv": 2, "ceildiv": 2, "mod": 2}
+
+
+@dataclass(frozen=True, eq=False)
+class AffineBinary(AffineExpr):
+    """A binary node: ``+``, ``*``, ``floordiv``, ``ceildiv`` or ``mod``."""
+
+    kind: str
+    lhs: AffineExpr
+    rhs: AffineExpr
+
+    def evaluate(self, dims: Sequence[int], symbols: Sequence[int] = ()) -> int:
+        left = self.lhs.evaluate(dims, symbols)
+        right = self.rhs.evaluate(dims, symbols)
+        if self.kind == "+":
+            return left + right
+        if self.kind == "*":
+            return left * right
+        if self.kind == "floordiv":
+            if right == 0:
+                raise AffineError("floordiv by zero")
+            return left // right
+        if self.kind == "ceildiv":
+            if right == 0:
+                raise AffineError("ceildiv by zero")
+            return -((-left) // right)
+        if self.kind == "mod":
+            if right == 0:
+                raise AffineError("mod by zero")
+            return left % right
+        raise AffineError(f"unknown affine op {self.kind!r}")
+
+    def dims_used(self) -> set[int]:
+        return self.lhs.dims_used() | self.rhs.dims_used()
+
+    def is_pure_affine(self) -> bool:
+        if self.kind in ("floordiv", "ceildiv", "mod"):
+            return False
+        return self.lhs.is_pure_affine() and self.rhs.is_pure_affine()
+
+    def substitute_dims(self, replacements: dict[int, AffineExpr]) -> AffineExpr:
+        return _binary(
+            self.kind,
+            self.lhs.substitute_dims(replacements),
+            self.rhs.substitute_dims(replacements),
+        )
+
+    def linear_coefficients(self, num_dims: int) -> list[int] | None:
+        left = self.lhs.linear_coefficients(num_dims)
+        right = self.rhs.linear_coefficients(num_dims)
+        if left is None or right is None:
+            return None
+        if self.kind == "+":
+            return [a + b for a, b in zip(left, right)]
+        if self.kind == "*":
+            # Linear only when one side is a constant.
+            if all(c == 0 for c in left[:-1]):
+                return [left[-1] * b for b in right]
+            if all(c == 0 for c in right[:-1]):
+                return [right[-1] * a for a in left]
+            return None
+        return None
+
+    def __str__(self) -> str:
+        op = {"+": " + ", "*": " * "}.get(self.kind, f" {self.kind} ")
+        left = _parenthesize(self.lhs, self.kind, is_right=False)
+        right = _parenthesize(self.rhs, self.kind, is_right=True)
+        # Pretty-print `x + -1 * y` as `x - y`.
+        if (
+            self.kind == "+"
+            and isinstance(self.rhs, AffineBinary)
+            and self.rhs.kind == "*"
+            and isinstance(self.rhs.rhs, AffineConstant)
+            and self.rhs.rhs.value == -1
+        ):
+            # Subtraction binds like addition: parenthesize accordingly.
+            inner = _parenthesize(self.rhs.lhs, "+", is_right=True)
+            return f"{left} - {inner}"
+        if (
+            self.kind == "+"
+            and isinstance(self.rhs, AffineConstant)
+            and self.rhs.value < 0
+        ):
+            return f"{left} - {-self.rhs.value}"
+        return f"{left}{op}{right}"
+
+
+def _parenthesize(expr: AffineExpr, parent_kind: str, is_right: bool) -> str:
+    text = str(expr)
+    if not isinstance(expr, AffineBinary):
+        return text
+    child = _PRECEDENCE[expr.kind]
+    parent = _PRECEDENCE[parent_kind]
+    if child < parent or (child == parent and is_right and parent_kind != "+"):
+        return f"({text})"
+    return text
+
+
+def _wrap(value: "AffineExpr | int") -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, int):
+        return AffineConstant(value)
+    raise AffineError(f"cannot use {value!r} in an affine expression")
+
+
+def _binary(kind: str, lhs: AffineExpr, rhs: AffineExpr) -> AffineExpr:
+    """Build a binary node with light constant folding."""
+    if isinstance(lhs, AffineConstant) and isinstance(rhs, AffineConstant):
+        return AffineConstant(AffineBinary(kind, lhs, rhs).evaluate((), ()))
+    if kind == "+":
+        if isinstance(lhs, AffineConstant) and lhs.value == 0:
+            return rhs
+        if isinstance(rhs, AffineConstant) and rhs.value == 0:
+            return lhs
+    if kind == "*":
+        for side, other in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(side, AffineConstant):
+                if side.value == 0:
+                    return AffineConstant(0)
+                if side.value == 1:
+                    return other
+    return AffineBinary(kind, lhs, rhs)
+
+
+def dim(position: int) -> AffineDim:
+    """Shorthand for ``AffineDim(position)``."""
+    if position < 0:
+        raise AffineError("dimension positions must be non-negative")
+    return AffineDim(position)
+
+
+def symbol(position: int) -> AffineSymbol:
+    """Shorthand for ``AffineSymbol(position)``."""
+    if position < 0:
+        raise AffineError("symbol positions must be non-negative")
+    return AffineSymbol(position)
+
+
+def constant(value: int) -> AffineConstant:
+    """Shorthand for ``AffineConstant(value)``."""
+    return AffineConstant(value)
+
+
+# ---------------------------------------------------------------------------
+# Maps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class AffineMap:
+    """An affine map ``(d0, ..) [s0, ..] -> (expr, ..)``."""
+
+    num_dims: int
+    num_symbols: int
+    results: tuple[AffineExpr, ...]
+
+    def __post_init__(self) -> None:
+        for expr in self.results:
+            for position in expr.dims_used():
+                if position >= self.num_dims:
+                    raise AffineError(
+                        f"map uses d{position} but declares only "
+                        f"{self.num_dims} dims"
+                    )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def get(
+        num_dims: int,
+        num_symbols: int,
+        results: Iterable[AffineExpr | int],
+    ) -> "AffineMap":
+        return AffineMap(
+            num_dims, num_symbols, tuple(_wrap(r) for r in results)
+        )
+
+    @staticmethod
+    def identity(num_dims: int) -> "AffineMap":
+        return AffineMap.get(num_dims, 0, [dim(i) for i in range(num_dims)])
+
+    @staticmethod
+    def permutation(perm: Sequence[int]) -> "AffineMap":
+        """Map sending position ``i`` to dimension ``perm[i]``."""
+        if sorted(perm) != list(range(len(perm))):
+            raise AffineError(f"{list(perm)} is not a permutation")
+        return AffineMap.get(len(perm), 0, [dim(p) for p in perm])
+
+    @staticmethod
+    def projection(num_dims: int, kept: Sequence[int]) -> "AffineMap":
+        """Map selecting a subset of the dimensions, in the given order."""
+        return AffineMap.get(num_dims, 0, [dim(i) for i in kept])
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_results(self) -> int:
+        return len(self.results)
+
+    def evaluate(
+        self, dims: Sequence[int], symbols: Sequence[int] = ()
+    ) -> tuple[int, ...]:
+        if len(dims) != self.num_dims:
+            raise AffineError(
+                f"map expects {self.num_dims} dims, got {len(dims)}"
+            )
+        return tuple(r.evaluate(dims, symbols) for r in self.results)
+
+    def dims_used(self) -> set[int]:
+        used: set[int] = set()
+        for expr in self.results:
+            used |= expr.dims_used()
+        return used
+
+    def is_identity(self) -> bool:
+        return (
+            self.num_results == self.num_dims
+            and all(
+                isinstance(r, AffineDim) and r.position == i
+                for i, r in enumerate(self.results)
+            )
+        )
+
+    def is_permutation(self) -> bool:
+        if self.num_results != self.num_dims:
+            return False
+        seen: set[int] = set()
+        for result in self.results:
+            if not isinstance(result, AffineDim):
+                return False
+            seen.add(result.position)
+        return seen == set(range(self.num_dims))
+
+    def is_projected_permutation(self) -> bool:
+        """True when every result is a distinct plain dimension."""
+        seen: set[int] = set()
+        for result in self.results:
+            if not isinstance(result, AffineDim):
+                return False
+            if result.position in seen:
+                return False
+            seen.add(result.position)
+        return True
+
+    def access_matrix(self) -> list[list[int]]:
+        """Coefficient matrix of shape ``num_results x (num_dims + 1)``.
+
+        Row ``r`` holds the coefficients of each loop iterator in result
+        ``r`` plus a trailing constant column — the polyhedral access
+        matrix of Fig. 2.  Non-linear results raise :class:`AffineError`.
+        """
+        rows: list[list[int]] = []
+        for result in self.results:
+            coeffs = result.linear_coefficients(self.num_dims)
+            if coeffs is None:
+                raise AffineError(
+                    f"result {result} is not linear; no access matrix"
+                )
+            rows.append(coeffs)
+        return rows
+
+    # -- transformations ---------------------------------------------------
+
+    def permute_dims(self, perm: Sequence[int]) -> "AffineMap":
+        """Rewrite under a loop interchange.
+
+        ``perm[i]`` is the *old* dimension placed at *new* position ``i``
+        (the paper's ``I(a1..an)`` convention).  Old dimension ``perm[i]``
+        therefore becomes new dimension ``i``.
+        """
+        if sorted(perm) != list(range(self.num_dims)):
+            raise AffineError(
+                f"{list(perm)} is not a permutation of {self.num_dims} dims"
+            )
+        replacements = {
+            old: dim(new) for new, old in enumerate(perm)
+        }
+        return AffineMap.get(
+            self.num_dims,
+            self.num_symbols,
+            [r.substitute_dims(replacements) for r in self.results],
+        )
+
+    def compose_substitution(
+        self, replacements: dict[int, AffineExpr], num_dims: int
+    ) -> "AffineMap":
+        """Substitute dimensions by arbitrary expressions over a new space."""
+        return AffineMap.get(
+            num_dims,
+            self.num_symbols,
+            [r.substitute_dims(replacements) for r in self.results],
+        )
+
+    # -- printing / parsing --------------------------------------------------
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"d{i}" for i in range(self.num_dims))
+        header = f"({dims})"
+        if self.num_symbols:
+            syms = ", ".join(f"s{i}" for i in range(self.num_symbols))
+            header += f"[{syms}]"
+        body = ", ".join(str(r) for r in self.results)
+        return f"{header} -> ({body})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AffineMap<{self}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AffineMap) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<id>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>->|[()\[\],+*-]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise AffineError(f"unexpected character {text[pos]!r} in {text!r}")
+        tokens.append(match.group(match.lastgroup))
+        pos = match.end()
+    return tokens
+
+
+class _MapParser:
+    """Recursive-descent parser for MLIR affine-map syntax."""
+
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+        self._dims: dict[str, int] = {}
+        self._syms: dict[str, int] = {}
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise AffineError("unexpected end of affine map")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._next()
+        if got != token:
+            raise AffineError(f"expected {token!r}, got {got!r}")
+
+    def parse_map(self) -> AffineMap:
+        self._expect("(")
+        while self._peek() != ")":
+            name = self._next()
+            self._dims[name] = len(self._dims)
+            if self._peek() == ",":
+                self._next()
+        self._expect(")")
+        if self._peek() == "[":
+            self._next()
+            while self._peek() != "]":
+                name = self._next()
+                self._syms[name] = len(self._syms)
+                if self._peek() == ",":
+                    self._next()
+            self._expect("]")
+        self._expect("->")
+        self._expect("(")
+        results: list[AffineExpr] = []
+        while self._peek() != ")":
+            results.append(self._parse_expr())
+            if self._peek() == ",":
+                self._next()
+        self._expect(")")
+        if self._peek() is not None:
+            raise AffineError(f"trailing tokens after affine map")
+        return AffineMap.get(len(self._dims), len(self._syms), results)
+
+    def _parse_expr(self) -> AffineExpr:
+        expr = self._parse_term()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._parse_term()
+            expr = expr + rhs if op == "+" else expr - rhs
+        return expr
+
+    def _parse_term(self) -> AffineExpr:
+        expr = self._parse_factor()
+        while self._peek() in ("*", "floordiv", "ceildiv", "mod"):
+            op = self._next()
+            rhs = self._parse_factor()
+            if op == "*":
+                expr = expr * rhs
+            elif op == "floordiv":
+                expr = expr.floordiv(rhs)
+            elif op == "ceildiv":
+                expr = expr.ceildiv(rhs)
+            else:
+                expr = expr.mod(rhs)
+        return expr
+
+    def _parse_factor(self) -> AffineExpr:
+        token = self._next()
+        if token == "(":
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if token == "-":
+            return -self._parse_factor()
+        if token.isdigit():
+            return AffineConstant(int(token))
+        if token in self._dims:
+            return dim(self._dims[token])
+        if token in self._syms:
+            return symbol(self._syms[token])
+        raise AffineError(f"unknown identifier {token!r} in affine map")
+
+
+def parse_affine_map(text: str) -> AffineMap:
+    """Parse MLIR textual affine-map syntax.
+
+    >>> parse_affine_map("(d0, d1, d2) -> (d0, d2)")
+    AffineMap<(d0, d1, d2) -> (d0, d2)>
+    """
+    text = text.strip()
+    if text.startswith("affine_map<") and text.endswith(">"):
+        text = text[len("affine_map<"):-1]
+    return _MapParser(_tokenize(text)).parse_map()

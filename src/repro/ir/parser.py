@@ -1,0 +1,371 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Parses the generic-form subset of MLIR that the printer produces:
+``module { func.func @f(...) { ... linalg.generic ... return } }``.  The
+printer records the original named-op identity in a ``library_call``
+attribute, which the parser uses to restore ``name`` and ``kind``, so
+``parse_module(print_module(m))`` reconstructs an equivalent module.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .affine import parse_affine_map
+from .ops import (
+    ArithKind,
+    Body,
+    BodyArg,
+    BodyConst,
+    BodyOp,
+    FuncOp,
+    IteratorType,
+    LinalgOp,
+    ModuleOp,
+    OpKind,
+    Value,
+)
+from .types import parse_tensor_type
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<comment>//[^\n]*)
+      | (?P<composite>affine_map<[^>]*->[^>]*>|tensor<[^>]*>)
+      | (?P<string>"[^"]*")
+      | (?P<number>-?\d+\.\d+e[+-]\d+|-?\d+\.\d+|-?\d+)
+      | (?P<percent>%[A-Za-z_0-9]+)
+      | (?P<at>@[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<caret>\^[A-Za-z_0-9]+)
+      | (?P<arrow>->)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+      | (?P<punct>[{}()\[\],:=])
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character {text[pos]!r} near "
+                f"{text[pos:pos + 30]!r}"
+            )
+        if match.lastgroup != "comment":
+            tokens.append(match.group(match.lastgroup))
+        pos = match.end()
+    return tokens
+
+
+_ARITH_BY_NAME = {kind.value: kind for kind in ArithKind}
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str | None:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> str:
+        got = self._next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+        return got
+
+    def _accept(self, token: str) -> bool:
+        if self._peek() == token:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_module(self) -> ModuleOp:
+        module = ModuleOp()
+        self._expect("module")
+        self._expect("{")
+        while self._peek() == "func.func":
+            module.append(self.parse_func())
+        self._expect("}")
+        if self._peek() is not None:
+            raise ParseError(f"trailing tokens after module: {self._peek()!r}")
+        return module
+
+    def parse_func(self) -> FuncOp:
+        self._expect("func.func")
+        name = self._next()
+        if not name.startswith("@"):
+            raise ParseError(f"expected function symbol, got {name!r}")
+        self._expect("(")
+        scope: dict[str, Value] = {}
+        arguments: list[Value] = []
+        while self._peek() != ")":
+            arg_name = self._next()
+            self._expect(":")
+            arg_type = parse_tensor_type(self._next())
+            value = Value(arg_type, arg_name)
+            scope[arg_name] = value
+            arguments.append(value)
+            self._accept(",")
+        self._expect(")")
+        if self._accept("->"):
+            self._expect("(")
+            while self._peek() != ")":
+                self._next()  # return types restated at the return site
+                self._accept(",")
+            self._expect(")")
+        self._expect("{")
+        func = FuncOp(name[1:], arguments)
+        returns: list[Value] = []
+        while not self._accept("}"):
+            if self._peek() == "return":
+                self._next()
+                while self._peek() != ":" and self._peek() != "}":
+                    token = self._next()
+                    if token == ",":
+                        continue
+                    returns.append(self._resolve(scope, token))
+                if self._accept(":"):
+                    while self._peek() not in ("}",):
+                        if self._peek(1) == "}" and not self._peek().startswith(
+                            "tensor"
+                        ):
+                            break
+                        token = self._peek()
+                        if token.startswith("tensor") or token == ",":
+                            self._next()
+                        else:
+                            break
+                continue
+            if self._peek().startswith("%") and self._peek(2) == "tensor.empty":
+                name = self._next()
+                self._expect("=")
+                self._expect("tensor.empty")
+                self._expect("(")
+                self._expect(")")
+                self._expect(":")
+                type_ = parse_tensor_type(self._next())
+                scope[name] = Value(type_, name, synthetic=True)
+                continue
+            func.append(self.parse_linalg_op(scope))
+        func.returns = returns
+        return func
+
+    def _resolve(self, scope: dict[str, Value], name: str) -> Value:
+        try:
+            return scope[name]
+        except KeyError:
+            raise ParseError(f"use of undefined value {name!r}") from None
+
+    def parse_linalg_op(self, scope: dict[str, Value]) -> LinalgOp:
+        result_names: list[str] = []
+        while self._peek().startswith("%") and self._peek(1) in (",", "="):
+            result_names.append(self._next())
+            if not self._accept(","):
+                break
+        if result_names:
+            self._expect("=")
+        self._expect("linalg.generic")
+        self._expect("{")
+        indexing_maps = []
+        iterator_types: list[IteratorType] = []
+        library_call = "linalg.generic#generic"
+        while not self._accept("}"):
+            attr = self._next()
+            self._expect("=")
+            if attr == "indexing_maps":
+                self._expect("[")
+                while self._peek() != "]":
+                    token = self._next()
+                    if token == ",":
+                        continue
+                    indexing_maps.append(parse_affine_map(token))
+                self._expect("]")
+            elif attr == "iterator_types":
+                self._expect("[")
+                while self._peek() != "]":
+                    token = self._next()
+                    if token == ",":
+                        continue
+                    iterator_types.append(IteratorType(token.strip('"')))
+                self._expect("]")
+            elif attr == "library_call":
+                library_call = self._next().strip('"')
+            else:
+                raise ParseError(f"unknown linalg attribute {attr!r}")
+            self._accept(",")
+        op_name, _, kind_name = library_call.partition("#")
+        kind = OpKind(kind_name) if kind_name else OpKind.GENERIC
+
+        self._expect("ins")
+        self._expect("(")
+        inputs = self._parse_operand_group(scope)
+        self._expect(")")
+        self._expect("outs")
+        self._expect("(")
+        outputs = self._parse_operand_group(scope)
+        self._expect(")")
+        body = self._parse_body()
+        results: list[Value] = []
+        if self._accept("->"):
+            for out in outputs:
+                result_type = parse_tensor_type(self._next())
+                results.append(Value(result_type))
+                self._accept(",")
+        op = LinalgOp(
+            name=op_name,
+            kind=kind,
+            inputs=inputs,
+            outputs=outputs,
+            indexing_maps=indexing_maps,
+            iterator_types=iterator_types,
+            body=body,
+            results=results,
+        )
+        for name, value in zip(result_names, op.results):
+            scope[name] = value
+        return op
+
+    def _parse_operand_group(self, scope: dict[str, Value]) -> list[Value]:
+        names: list[str] = []
+        while self._peek() != ":":
+            token = self._next()
+            if token == ",":
+                continue
+            names.append(token)
+        self._expect(":")
+        types = []
+        while self._peek() != ")":
+            token = self._next()
+            if token == ",":
+                continue
+            types.append(parse_tensor_type(token))
+        if len(names) != len(types):
+            raise ParseError(
+                f"{len(names)} operands but {len(types)} operand types"
+            )
+        values = []
+        for name, type_ in zip(names, types):
+            value = self._resolve(scope, name)
+            if value.type != type_:
+                raise ParseError(
+                    f"operand {name} has type {value.type}, text says {type_}"
+                )
+            values.append(value)
+        return values
+
+    def _parse_body(self) -> Body:
+        self._expect("{")
+        token = self._next()
+        if not token.startswith("^"):
+            raise ParseError(f"expected block label, got {token!r}")
+        self._expect("(")
+        num_args = 0
+        while self._peek() != ")":
+            token = self._next()
+            if token in (",", ":") or not token.startswith("%"):
+                continue
+            num_args += 1
+            self._expect(":")
+            self._next()  # element type
+        self._expect(")")
+        self._expect(":")
+
+        constants: dict[int, float] = {}
+        raw_ops: list[tuple[str, ArithKind, list[str]]] = []
+        yield_name: str | None = None
+        while not self._accept("}"):
+            first = self._next()
+            if first == "linalg.yield":
+                yield_name = self._next()
+                self._expect(":")
+                self._next()  # element type
+                continue
+            name = first
+            self._expect("=")
+            op_token = self._next()
+            if op_token == "arith.constant":
+                value_text = self._next()
+                self._expect(":")
+                self._next()
+                position = int(name[len("%cst"):])
+                constants[position] = float(value_text)
+                continue
+            kind = _ARITH_BY_NAME.get(op_token)
+            if kind is None:
+                raise ParseError(f"unknown body op {op_token!r}")
+            operands: list[str] = []
+            if kind is ArithKind.CMPF:
+                self._next()  # predicate
+                self._accept(",")
+            while self._peek() != ":":
+                token = self._next()
+                if token == ",":
+                    continue
+                operands.append(token)
+            self._expect(":")
+            self._next()  # element type
+            raw_ops.append((name, kind, operands))
+
+        num_leaves = num_args + len(constants)
+        leaves: list[BodyArg | BodyConst] = []
+        arg_positions: dict[int, int] = {}
+        next_arg = 0
+        for position in range(num_leaves):
+            if position in constants:
+                leaves.append(BodyConst(constants[position]))
+            else:
+                leaves.append(BodyArg(next_arg))
+                arg_positions[next_arg] = position
+                next_arg += 1
+
+        def node_index(name: str) -> int:
+            if name.startswith("%in"):
+                return arg_positions[int(name[3:])]
+            if name.startswith("%cst"):
+                return int(name[4:])
+            if name.startswith("%b"):
+                return num_leaves + int(name[2:])
+            raise ParseError(f"unknown body value {name!r}")
+
+        ops = tuple(
+            BodyOp(kind, tuple(node_index(o) for o in operands))
+            for _, kind, operands in raw_ops
+        )
+        if yield_name is None:
+            raise ParseError("body has no linalg.yield")
+        return Body(tuple(leaves), ops, node_index(yield_name))
+
+
+def parse_module(text: str) -> ModuleOp:
+    """Parse a module printed by :func:`repro.ir.printer.print_module`."""
+    module = _Parser(_tokenize(text)).parse_module()
+    module.verify()
+    return module
+
+
+def parse_function(text: str) -> FuncOp:
+    """Parse a single ``func.func`` definition."""
+    return _Parser(_tokenize(text)).parse_func()

@@ -1,0 +1,155 @@
+"""Textual printer for the mini-MLIR IR.
+
+Emits a faithful subset of MLIR's generic ``linalg.generic`` syntax so that
+modules can be inspected, diffed, and round-tripped through
+:mod:`repro.ir.parser`.  Named ops are printed in generic form (as
+``mlir-opt --linalg-generalize-named-ops`` would), with the original op
+name recorded in a ``library_call`` attribute so parsing recovers the op
+kind.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .ops import (
+    ArithKind,
+    Body,
+    BodyArg,
+    BodyConst,
+    FuncOp,
+    LinalgOp,
+    ModuleOp,
+    Value,
+)
+
+
+class _NameScope:
+    """Assigns stable printed names (%arg0, %0, %1...) to SSA values."""
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._next = 0
+
+    def argument(self, value: Value, index: int) -> str:
+        name = f"%arg{index}"
+        self._names[id(value)] = name
+        return name
+
+    def define(self, value: Value) -> str:
+        name = f"%{self._next}"
+        self._next += 1
+        self._names[id(value)] = name
+        return name
+
+    def lookup(self, value: Value) -> str:
+        try:
+            return self._names[id(value)]
+        except KeyError:
+            raise KeyError(f"value {value.name} printed before definition")
+
+    def __contains__(self, value: Value) -> bool:
+        return id(value) in self._names
+
+
+def print_body(body: Body, element: str = "f32") -> str:
+    """Print a linalg body region as MLIR block text."""
+    out = StringIO()
+    names: list[str] = []
+    args = [leaf for leaf in body.leaves if isinstance(leaf, BodyArg)]
+    header = ", ".join(f"%in{leaf.index}: {element}" for leaf in args)
+    out.write(f"^bb0({header}):\n")
+    for leaf in body.leaves:
+        if isinstance(leaf, BodyArg):
+            names.append(f"%in{leaf.index}")
+        else:
+            names.append(f"%cst{len(names)}")
+    constant_index = 0
+    for position, leaf in enumerate(body.leaves):
+        if isinstance(leaf, BodyConst):
+            out.write(
+                f"  {names[position]} = arith.constant "
+                f"{leaf.value:e} : {element}\n"
+            )
+            constant_index += 1
+    for position, op in enumerate(body.ops):
+        name = f"%b{position}"
+        names.append(name)
+        operands = ", ".join(names[i] for i in op.operands)
+        if op.kind is ArithKind.CMPF:
+            out.write(f"  {name} = arith.cmpf ogt, {operands} : {element}\n")
+        else:
+            out.write(f"  {name} = {op.kind.value} {operands} : {element}\n")
+    out.write(f"  linalg.yield {names[body.yield_index]} : {element}\n")
+    return out.getvalue()
+
+
+def print_linalg_op(op: LinalgOp, scope: _NameScope, indent: str = "  ") -> str:
+    out = StringIO()
+    result_names = [scope.define(r) for r in op.results]
+    maps = ",\n".join(
+        f'{indent}    affine_map<{m}>' for m in op.indexing_maps
+    )
+    iterators = ", ".join(f'"{it.value}"' for it in op.iterator_types)
+    out.write(f"{indent}")
+    if result_names:
+        out.write(", ".join(result_names) + " = ")
+    out.write("linalg.generic {\n")
+    out.write(f"{indent}  indexing_maps = [\n{maps}\n{indent}  ],\n")
+    out.write(f'{indent}  iterator_types = [{iterators}],\n')
+    out.write(f'{indent}  library_call = "{op.name}#{op.kind.value}"\n')
+    out.write(f"{indent}}}")
+    in_names = ", ".join(scope.lookup(v) for v in op.inputs)
+    in_types = ", ".join(str(v.type) for v in op.inputs)
+    out_names = ", ".join(scope.lookup(v) for v in op.outputs)
+    out_types = ", ".join(str(v.type) for v in op.outputs)
+    out.write(f" ins({in_names} : {in_types})")
+    out.write(f" outs({out_names} : {out_types}) {{\n")
+    element = str(op.outputs[0].type.element)
+    for line in print_body(op.body, element).splitlines():
+        out.write(f"{indent}{line}\n")
+    out.write(f"{indent}}}")
+    if result_names:
+        result_types = ", ".join(str(r.type) for r in op.results)
+        out.write(f" -> {result_types}")
+    out.write("\n")
+    return out.getvalue()
+
+
+def print_func(func: FuncOp, indent: str = "") -> str:
+    scope = _NameScope()
+    out = StringIO()
+    args = ", ".join(
+        f"{scope.argument(v, i)}: {v.type}"
+        for i, v in enumerate(func.arguments)
+    )
+    return_types = ", ".join(str(v.type) for v in func.returns)
+    signature = f"{indent}func.func @{func.name}({args})"
+    if return_types:
+        signature += f" -> ({return_types})"
+    out.write(signature + " {\n")
+    for op in func.body:
+        for operand in op.operands:
+            if operand.synthetic and operand not in scope:
+                name = scope.define(operand)
+                out.write(
+                    f"{indent}  {name} = tensor.empty() : {operand.type}\n"
+                )
+        out.write(print_linalg_op(op, scope, indent + "  "))
+    if func.returns:
+        names = ", ".join(scope.lookup(v) for v in func.returns)
+        out.write(f"{indent}  return {names} : {return_types}\n")
+    else:
+        out.write(f"{indent}  return\n")
+    out.write(indent + "}\n")
+    return out.getvalue()
+
+
+def print_module(module: ModuleOp) -> str:
+    """Print a module in MLIR-like textual form."""
+    out = StringIO()
+    out.write("module {\n")
+    for func in module.functions:
+        out.write(print_func(func, "  "))
+    out.write("}\n")
+    return out.getvalue()

@@ -1,0 +1,106 @@
+"""Element and tensor types for the mini-MLIR IR.
+
+Only the small type zoo the paper's workloads need: floating point and
+integer scalars, and ranked tensors with static shapes (Linalg operations in
+the paper are fully static: lower bound 0, step 1, known extents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from operator import mul
+from typing import Sequence
+
+
+class TypeError_(ValueError):
+    """Raised for malformed or mismatched IR types."""
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """A scalar element type such as ``f32`` or ``i64``."""
+
+    name: str
+    bits: int
+    is_float: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+
+F16 = ElementType("f16", 16, True)
+F32 = ElementType("f32", 32, True)
+F64 = ElementType("f64", 64, True)
+I8 = ElementType("i8", 8, False)
+I32 = ElementType("i32", 32, False)
+I64 = ElementType("i64", 64, False)
+
+_ELEMENT_TYPES = {t.name: t for t in (F16, F32, F64, I8, I32, I64)}
+
+
+def element_type(name: str) -> ElementType:
+    """Look up an element type by its MLIR spelling."""
+    try:
+        return _ELEMENT_TYPES[name]
+    except KeyError:
+        raise TypeError_(f"unknown element type {name!r}") from None
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """A ranked tensor type with a static shape, e.g. ``tensor<8x8xf32>``."""
+
+    shape: tuple[int, ...]
+    element: ElementType
+
+    def __post_init__(self) -> None:
+        for extent in self.shape:
+            if extent <= 0:
+                raise TypeError_(
+                    f"tensor extents must be positive, got {self.shape}"
+                )
+
+    @staticmethod
+    def get(shape: Sequence[int], element: ElementType) -> "TensorType":
+        return TensorType(tuple(int(s) for s in shape), element)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return reduce(mul, self.shape, 1)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.element.bytes
+
+    def __str__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        if dims:
+            return f"tensor<{dims}x{self.element}>"
+        return f"tensor<{self.element}>"
+
+
+def parse_tensor_type(text: str) -> TensorType:
+    """Parse ``tensor<4x8xf32>`` textual syntax."""
+    text = text.strip()
+    if not (text.startswith("tensor<") and text.endswith(">")):
+        raise TypeError_(f"not a tensor type: {text!r}")
+    body = text[len("tensor<"):-1]
+    parts = body.split("x")
+    if not parts:
+        raise TypeError_(f"empty tensor type: {text!r}")
+    elem = element_type(parts[-1])
+    shape = []
+    for part in parts[:-1]:
+        if not part.isdigit():
+            raise TypeError_(f"non-static tensor extent {part!r} in {text!r}")
+        shape.append(int(part))
+    return TensorType.get(shape, elem)

@@ -1,0 +1,61 @@
+"""CPU performance-model substrate.
+
+A deterministic machine model standing in for the paper's Xeon E5-2680
+v4 testbed: analytical cache-traffic analysis, an innermost-loop issue
+model, roofline timing with parallel scaling, a trace-driven cache
+simulator for validation, and a kernel-library model for the framework
+baselines.
+"""
+
+from .cache import CacheHierarchy, SetAssociativeCache, iterate_points, simulate_nest
+from .executor import ExecutionResult, Executor
+from .kernels import (
+    COMPILED_DISPATCH_SECONDS,
+    EAGER_DISPATCH_SECONDS,
+    KernelProfile,
+    fused_group_time,
+    kernel_time,
+    op_flops,
+    operand_bytes,
+)
+from .spec import XEON_E5_2680_V4, CacheLevel, MachineSpec, laptop_spec
+from .timing import BodyCost, TimingBreakdown, body_cost, nest_time, nests_time
+from .traffic import (
+    TrafficReport,
+    access_lines,
+    block_footprint_bytes,
+    compulsory_bytes,
+    dram_traffic_bytes,
+    nest_traffic,
+)
+
+__all__ = [
+    "BodyCost",
+    "CacheHierarchy",
+    "CacheLevel",
+    "COMPILED_DISPATCH_SECONDS",
+    "EAGER_DISPATCH_SECONDS",
+    "ExecutionResult",
+    "Executor",
+    "KernelProfile",
+    "MachineSpec",
+    "SetAssociativeCache",
+    "TimingBreakdown",
+    "TrafficReport",
+    "XEON_E5_2680_V4",
+    "access_lines",
+    "block_footprint_bytes",
+    "body_cost",
+    "compulsory_bytes",
+    "dram_traffic_bytes",
+    "fused_group_time",
+    "iterate_points",
+    "kernel_time",
+    "laptop_spec",
+    "nest_time",
+    "nest_traffic",
+    "nests_time",
+    "op_flops",
+    "operand_bytes",
+    "simulate_nest",
+]

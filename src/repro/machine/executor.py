@@ -1,0 +1,64 @@
+"""Public execution API: time linalg functions under a schedule.
+
+This is the stand-in for "run the compiled binary and measure": the
+deterministic performance model applied to lowered loop nests.  The RL
+environment's reward, all baselines, and the benchmark harness measure
+time through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.ops import FuncOp, ModuleOp
+from ..transforms.lowering import lower_baseline, lower_function
+from ..transforms.pipeline import ScheduledFunction
+from .spec import XEON_E5_2680_V4, MachineSpec
+from .timing import TimingBreakdown, nest_time, nests_time
+
+
+@dataclass
+class ExecutionResult:
+    """Measured execution of one function."""
+
+    seconds: float
+    breakdown: TimingBreakdown
+
+    def speedup_over(self, other: "ExecutionResult") -> float:
+        return other.seconds / self.seconds
+
+
+class Executor:
+    """Times functions on a machine model.
+
+    The paper measures the median of 5 runs on an exclusive node; the
+    model is deterministic, so one evaluation suffices and results are
+    exactly reproducible.
+    """
+
+    def __init__(self, spec: MachineSpec = XEON_E5_2680_V4):
+        self.spec = spec
+
+    def run_baseline(self, func: FuncOp) -> ExecutionResult:
+        """Time the unoptimized function (the paper's MLIR -O3 baseline)."""
+        nests = [lower_baseline(op) for op in func.body]
+        breakdown = nests_time(nests, self.spec)
+        return ExecutionResult(breakdown.total, breakdown)
+
+    def run_scheduled(self, scheduled: ScheduledFunction) -> ExecutionResult:
+        """Time a function under its current schedule."""
+        nests = scheduled.lower()
+        breakdown = nests_time(nests, self.spec)
+        return ExecutionResult(breakdown.total, breakdown)
+
+    def run_module_baseline(self, module: ModuleOp) -> ExecutionResult:
+        total = TimingBreakdown(0.0, 0.0, 0.0, 0.0, 1)
+        for func in module.functions:
+            total = total + self.run_baseline(func).breakdown
+        return ExecutionResult(total.total, total)
+
+    def speedup(self, scheduled: ScheduledFunction) -> float:
+        """Speedup of the scheduled function over its baseline."""
+        baseline = self.run_baseline(scheduled.func)
+        optimized = self.run_scheduled(scheduled)
+        return baseline.seconds / optimized.seconds

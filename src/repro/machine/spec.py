@@ -1,0 +1,90 @@
+"""Machine description for the CPU performance model.
+
+Defaults model the paper's evaluation node: a dual-socket Intel Xeon
+E5-2680 v4 (Broadwell, 2 x 14 cores @ 2.4 GHz, AVX2, 64 GB RAM), treated
+as one flat 28-core machine with a shared last-level cache and aggregate
+DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level: capacity (bytes), per-core sharing, and the
+    bandwidth (bytes/second) it supplies to the level above it."""
+
+    name: str
+    capacity: int
+    shared: bool
+    bandwidth_per_core: float
+    bandwidth_cap: float
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A CPU model: cores, frequency, vector units, caches, DRAM."""
+
+    cores: int = 28
+    frequency: float = 2.4e9
+    vector_bytes: int = 32           # AVX2
+    fma_ports: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+    issue_width: int = 4
+    fp_latency: int = 4              # cycles; addf/fma dependency chains
+    line_bytes: int = 64
+    parallel_launch_seconds: float = 5e-6   # omp parallel region fork/join
+    op_launch_seconds: float = 5e-7         # per-kernel invocation
+    caches: tuple[CacheLevel, ...] = (
+        CacheLevel("L1", 32 * 1024, False, 1.5e11, 1.5e11 * 28),
+        CacheLevel("L2", 256 * 1024, False, 6.0e10, 6.0e10 * 28),
+        CacheLevel("L3", 70 * 1024 * 1024, True, 1.5e10, 1.6e11),
+    )
+    dram_bandwidth_per_core: float = 1.2e10
+    dram_bandwidth_cap: float = 7.68e10      # 2 sockets x 4ch DDR4-2400
+
+    # -- derived -------------------------------------------------------------
+
+    def vector_lanes(self, element_bytes: int) -> int:
+        """SIMD lanes for the given element width (8 for f32 on AVX2)."""
+        return max(1, self.vector_bytes // element_bytes)
+
+    def peak_flops(self, cores: int, element_bytes: int = 4) -> float:
+        """Peak FMA throughput in FLOP/s across ``cores`` cores."""
+        lanes = self.vector_lanes(element_bytes)
+        return cores * self.frequency * self.fma_ports * lanes * 2
+
+    def dram_bandwidth(self, cores: int) -> float:
+        """Aggregate DRAM bandwidth achievable from ``cores`` cores."""
+        return min(cores * self.dram_bandwidth_per_core, self.dram_bandwidth_cap)
+
+    def cache(self, name: str) -> CacheLevel:
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise KeyError(f"no cache level named {name!r}")
+
+    def cache_bandwidth(self, level: CacheLevel, cores: int) -> float:
+        return min(cores * level.bandwidth_per_core, level.bandwidth_cap)
+
+
+#: The paper's evaluation machine.
+XEON_E5_2680_V4 = MachineSpec()
+
+
+def laptop_spec() -> MachineSpec:
+    """A small 8-core machine, handy for tests and examples."""
+    return MachineSpec(
+        cores=8,
+        frequency=3.2e9,
+        caches=(
+            CacheLevel("L1", 48 * 1024, False, 2.0e11, 2.0e11 * 8),
+            CacheLevel("L2", 512 * 1024, False, 8.0e10, 8.0e10 * 8),
+            CacheLevel("L3", 16 * 1024 * 1024, True, 2.0e10, 1.2e11),
+        ),
+        dram_bandwidth_per_core=1.5e10,
+        dram_bandwidth_cap=5.0e10,
+    )

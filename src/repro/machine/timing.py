@@ -1,0 +1,213 @@
+"""Execution-time model for lowered loop nests.
+
+Combines three classic components:
+
+* an **issue model** for the innermost loop body — load/store/FMA micro-ops
+  against the core's port widths, with SIMD lanes when vectorized, gather
+  penalties for strided vector accesses, and a floating-point latency
+  floor for scalar loop-carried reductions (``-O3`` cannot reassociate FP
+  reductions, which is why naive matmul crawls);
+* the **footprint traffic model** of :mod:`repro.machine.traffic` for
+  cache/DRAM bandwidth terms;
+* **overheads**: parallel-region launch, per-kernel launch, loop control,
+  and load imbalance when the parallel trip count doesn't divide the
+  core count.
+
+The final time is the roofline maximum of the compute and bandwidth
+terms plus overheads.  Deterministic by construction — the "measured
+execution time" the RL reward uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..transforms.loop_nest import FusedNest, LoweredNest
+from .spec import MachineSpec
+from .traffic import nest_traffic
+
+
+@dataclass(frozen=True)
+class BodyCost:
+    """Micro-op footprint of one innermost iteration."""
+
+    loads: float
+    stores: float
+    arith_uops: float
+    lanes: int
+    latency_bound: float  # cycles; dependency-chain floor
+
+
+@dataclass
+class TimingBreakdown:
+    """Where the time of a nest went (seconds)."""
+
+    total: float
+    compute: float
+    memory: float
+    overhead: float
+    cores: int
+
+    def __add__(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            self.total + other.total,
+            self.compute + other.compute,
+            self.memory + other.memory,
+            self.overhead + other.overhead,
+            max(self.cores, other.cores),
+        )
+
+
+def _element_bytes(nest: LoweredNest) -> int:
+    for access in nest.accesses:
+        if access.is_write:
+            return access.element_bytes
+    return nest.accesses[0].element_bytes if nest.accesses else 4
+
+
+def body_cost(nest: LoweredNest, spec: MachineSpec) -> BodyCost:
+    """Micro-op cost of one innermost iteration (vector or scalar)."""
+    inner = nest.innermost()
+    element_bytes = _element_bytes(nest)
+    lanes = spec.vector_lanes(element_bytes) if inner.vector else 1
+    # A vector loop shorter than the lane count wastes the idle lanes.
+    lanes = max(1, min(lanes, inner.trip))
+    loads = 0.0
+    stores = 0.0
+    inner_trip = max(inner.trip, 1)
+    for access in nest.accesses:
+        stride = access.innermost_stride_elems(inner.dim)
+        if stride == 0:
+            # Invariant in the innermost loop: hoisted to a register and
+            # amortized over the inner trip (accumulators for writes).
+            cost = 1.0 / inner_trip
+        elif stride == 1 or not inner.vector:
+            cost = 1.0
+        else:
+            # Strided vector access: a gather.  Broadwell gathers issue
+            # roughly two load-port micro-ops per element plus setup.
+            cost = 2.0 * lanes
+        if access.is_write:
+            stores += cost
+            loads += cost  # read-modify-write of the output tile
+        else:
+            loads += cost
+    arith = float(nest.arith_uops)
+    latency_bound = 0.0
+    if not inner.vector and inner.dim in nest.reduction_dims:
+        # Scalar loop-carried FP reduction: the accumulate chain
+        # serializes at the FP add latency.
+        latency_bound = float(spec.fp_latency)
+    return BodyCost(loads, stores, arith, lanes, latency_bound)
+
+
+def _cycles_per_iteration(cost: BodyCost, spec: MachineSpec) -> float:
+    issue = (cost.loads + cost.stores + cost.arith_uops + 1.0) / spec.issue_width
+    ports = max(
+        cost.loads / spec.load_ports,
+        cost.stores / spec.store_ports,
+        cost.arith_uops / spec.fma_ports,
+    )
+    return max(issue, ports, cost.latency_bound, 0.25)
+
+
+def _parallel_geometry(
+    nest: LoweredNest, spec: MachineSpec
+) -> tuple[int, float, int]:
+    """(cores used, imbalance factor >= 1, forks per nest execution)."""
+    trip, outer = nest.parallel_band()
+    if trip <= 1:
+        return 1, 1.0, 0
+    cores = min(spec.cores, trip)
+    chunks = math.ceil(trip / cores)
+    imbalance = chunks / (trip / cores)
+    return cores, imbalance, outer
+
+
+def nest_time(
+    nest: LoweredNest,
+    spec: MachineSpec,
+    skip_tensor_ids: frozenset[int] = frozenset(),
+    execution_scale: float = 1.0,
+    inherited_cores: int = 1,
+) -> TimingBreakdown:
+    """Execution time of one nest (plus its fused producers).
+
+    ``execution_scale`` multiplies work and traffic — used for fused
+    producers that recompute across consumer tiles.  ``inherited_cores``
+    propagates the consumer's parallelism to fused producers: their code
+    executes inside the consumer's parallel tile loops.
+    """
+    cores, imbalance, forks = _parallel_geometry(nest, spec)
+    if inherited_cores > cores:
+        cores = inherited_cores
+        imbalance = 1.0
+    cost = body_cost(nest, spec)
+    points = nest.total_points() * execution_scale
+    iterations = points / cost.lanes
+    cycles = iterations * _cycles_per_iteration(cost, spec)
+    compute_time = cycles / spec.frequency / cores * imbalance
+
+    traffic = nest_traffic(nest, spec, skip_tensor_ids)
+    memory_time = 0.0
+    last_level = spec.caches[-1]
+    dram_bytes = traffic.into(last_level.name) * execution_scale
+    memory_time = max(
+        memory_time, dram_bytes / spec.dram_bandwidth(cores)
+    )
+    for upper, lower in zip(spec.caches, spec.caches[1:]):
+        # traffic flowing from `lower` into `upper`
+        bytes_ = traffic.into(upper.name) * execution_scale
+        bandwidth = spec.cache_bandwidth(lower, cores)
+        memory_time = max(memory_time, bytes_ / bandwidth)
+
+    # Loop control of non-innermost loops: well-predicted branches that
+    # mostly overlap the body; ~1 cycle each.  Innermost control is part
+    # of the body issue cost.
+    loop_overhead = (
+        nest.loop_iterations_total()
+        * execution_scale
+        * 1.0
+        / spec.frequency
+        / cores
+    )
+    overhead = spec.op_launch_seconds + loop_overhead
+    if forks:
+        # One fork/join per execution of the parallel region: a single
+        # outermost region forks once, a region nested under tile loops
+        # forks once per outer iteration.
+        overhead += spec.parallel_launch_seconds * forks * execution_scale
+
+    total = max(compute_time, memory_time) + overhead
+
+    breakdown = TimingBreakdown(
+        total=total,
+        compute=compute_time,
+        memory=memory_time,
+        overhead=overhead,
+        cores=cores,
+    )
+    for fused in nest.fused:
+        child = nest_time(
+            fused.nest,
+            spec,
+            skip_tensor_ids=fused.intermediate_ids,
+            execution_scale=execution_scale * fused.recompute,
+            inherited_cores=cores,
+        )
+        breakdown = breakdown + child
+    return breakdown
+
+
+def nests_time(
+    nests: list[LoweredNest], spec: MachineSpec
+) -> TimingBreakdown:
+    """Total time of a nest sequence (one function)."""
+    total = TimingBreakdown(0.0, 0.0, 0.0, 0.0, 1)
+    for nest in nests:
+        skip = frozenset().union(
+            *(f.intermediate_ids for f in nest.fused)
+        ) if nest.fused else frozenset()
+        total = total + nest_time(nest, spec, skip_tensor_ids=skip)
+    return total

@@ -1,0 +1,162 @@
+"""Analytical cache-traffic model for lowered loop nests.
+
+Classic footprint-based reuse analysis (as used in the Tiramisu and
+Halide cost models): for each cache level, find the outermost loop depth
+whose *block* — one complete execution of all loops at that depth and
+inward — has a total data footprint that fits in the cache.  Data is then
+reused inside the block, and the traffic an operand induces from the
+level above equals its per-block footprint times the number of block
+executions that actually change the data it touches (outer loops that do
+not index the operand reuse the cached block for free).
+
+Footprints are counted at cache-line granularity, so a column walk
+through a row-major tensor pays a full line per element — which is
+exactly the locality signal tiling and interchange exist to fix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..transforms.loop_nest import (
+    Access,
+    LoweredNest,
+    coverage_per_dim,
+    footprint_elems,
+)
+from .spec import CacheLevel, MachineSpec
+
+#: Fraction of a cache's capacity the model lets a working set use
+#: (conflict misses, other residents).
+_CACHE_UTILIZATION = 0.8
+
+
+def access_lines(
+    access: Access, cover: list[int], line_bytes: int
+) -> int:
+    """Cache lines touched by ``access`` over a block covering ``cover``.
+
+    The rectangle footprint per tensor dimension; the last (fastest
+    varying) dimension is line-contiguous, every other dimension pays a
+    line per distinct index in the worst case (true for row-major layouts
+    whenever the trailing span doesn't cover whole lines — a conservative
+    but monotone approximation).
+    """
+    spans: list[int] = []
+    for row, extent in zip(access.matrix, access.tensor_shape):
+        span = 1
+        for dim, coeff in enumerate(row[:-1]):
+            if coeff != 0:
+                span += abs(coeff) * (cover[dim] - 1)
+        spans.append(min(span, extent))
+    if not spans:
+        return 1
+    # Trailing dimensions whose span covers the whole extent are
+    # contiguous with their predecessor in a row-major layout: fold them
+    # into one contiguous run, then charge a line per residual outer index.
+    contiguous = spans[-1]
+    index = len(spans) - 2
+    if spans[-1] == access.tensor_shape[-1]:
+        while index >= 0 and spans[index] == access.tensor_shape[index]:
+            contiguous *= spans[index]
+            index -= 1
+    outer = 1
+    for position in range(index + 1):
+        outer *= spans[position]
+    run_lines = math.ceil(contiguous * access.element_bytes / line_bytes)
+    return outer * run_lines
+
+
+def block_footprint_bytes(
+    nest: LoweredNest, depth: int, line_bytes: int
+) -> int:
+    """Total line-granular footprint of the block at ``depth``."""
+    num_dims = 1 + max(
+        (loop.dim for loop in nest.loops), default=0
+    )
+    cover = coverage_per_dim(nest.loops, depth, num_dims)
+    return sum(
+        access_lines(access, cover, line_bytes) * line_bytes
+        for access in nest.accesses
+    )
+
+
+def _reuse_depth(
+    nest: LoweredNest, capacity: float, line_bytes: int
+) -> int:
+    """Outermost depth whose block footprint fits in ``capacity``."""
+    for depth in range(len(nest.loops) + 1):
+        if block_footprint_bytes(nest, depth, line_bytes) <= capacity:
+            return depth
+    return len(nest.loops)
+
+
+@dataclass
+class TrafficReport:
+    """Bytes moved into each cache level over the nest's execution."""
+
+    bytes_per_level: dict[str, float]
+    reuse_depths: dict[str, int]
+
+    def into(self, level_name: str) -> float:
+        return self.bytes_per_level.get(level_name, 0.0)
+
+
+def nest_traffic(
+    nest: LoweredNest,
+    spec: MachineSpec,
+    skip_tensor_ids: frozenset[int] = frozenset(),
+) -> TrafficReport:
+    """Traffic into each cache level for one nest execution.
+
+    ``skip_tensor_ids`` removes accesses whose data is guaranteed
+    cache-resident (fused intermediates) from the DRAM/L3 traffic.
+    """
+    num_dims = 1 + max((loop.dim for loop in nest.loops), default=0)
+    bytes_per_level: dict[str, float] = {}
+    reuse_depths: dict[str, int] = {}
+    for level in spec.caches:
+        capacity = level.capacity * _CACHE_UTILIZATION
+        depth = _reuse_depth(nest, capacity, spec.line_bytes)
+        reuse_depths[level.name] = depth
+        cover = coverage_per_dim(nest.loops, depth, num_dims)
+        total = 0.0
+        for access in nest.accesses:
+            if (
+                access.tensor_id in skip_tensor_ids
+                and level.name == spec.caches[-1].name
+            ):
+                continue
+            lines = access_lines(access, cover, spec.line_bytes)
+            executions = 1
+            used = access.dims_used()
+            for loop in nest.loops[:depth]:
+                if loop.dim in used:
+                    executions *= loop.trip
+            weight = 2.0 if access.is_write else 1.0
+            total += executions * lines * spec.line_bytes * weight
+        bytes_per_level[level.name] = total
+    return TrafficReport(bytes_per_level, reuse_depths)
+
+
+def dram_traffic_bytes(
+    nest: LoweredNest,
+    spec: MachineSpec,
+    skip_tensor_ids: frozenset[int] = frozenset(),
+) -> float:
+    """Traffic between DRAM and the last-level cache."""
+    report = nest_traffic(nest, spec, skip_tensor_ids)
+    return report.into(spec.caches[-1].name)
+
+
+def compulsory_bytes(nest: LoweredNest) -> int:
+    """Lower bound: every distinct tensor moved once."""
+    seen: set[int] = set()
+    total = 0
+    for access in nest.accesses:
+        if access.tensor_id in seen:
+            continue
+        seen.add(access.tensor_id)
+        total += access.tensor_bytes
+    return total

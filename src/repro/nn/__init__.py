@@ -1,0 +1,32 @@
+"""Numpy reverse-mode autograd, layers, optimizers and distributions —
+the from-scratch substrate for the paper's actor-critic networks."""
+
+from .distributions import MaskedCategorical
+from .layers import LSTMCell, LSTMEncoder, Linear, MLP, Module
+from .optim import SGD, Adam, clip_grad_norm
+from .tensor import (
+    Tensor,
+    concatenate,
+    log_softmax,
+    softmax,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Adam",
+    "LSTMCell",
+    "LSTMEncoder",
+    "Linear",
+    "MLP",
+    "MaskedCategorical",
+    "Module",
+    "SGD",
+    "Tensor",
+    "clip_grad_norm",
+    "concatenate",
+    "log_softmax",
+    "softmax",
+    "stack",
+    "where",
+]

@@ -1,0 +1,42 @@
+"""Actor-critic networks and PPO training for MLIR RL."""
+
+from .agent import ActorCritic, FlatActorCritic, FlatSampledStep, SampledStep
+from .checkpoint import load_agent, save_agent
+from .gae import compute_gae, normalize_advantages
+from .policy import FlatPolicyNetwork, PolicyNetwork, ValueNetwork
+from .ppo import (
+    FlatPPOTrainer,
+    IterationStats,
+    PPOConfig,
+    PPOTrainer,
+    TrainingHistory,
+)
+from .rollout import (
+    Trajectory,
+    collect_batch,
+    collect_episode,
+    collect_flat_episode,
+)
+
+__all__ = [
+    "ActorCritic",
+    "FlatActorCritic",
+    "FlatPPOTrainer",
+    "FlatPolicyNetwork",
+    "FlatSampledStep",
+    "IterationStats",
+    "PPOConfig",
+    "PPOTrainer",
+    "PolicyNetwork",
+    "SampledStep",
+    "Trajectory",
+    "TrainingHistory",
+    "ValueNetwork",
+    "collect_batch",
+    "collect_episode",
+    "collect_flat_episode",
+    "compute_gae",
+    "load_agent",
+    "normalize_advantages",
+    "save_agent",
+]

@@ -1,0 +1,298 @@
+"""Actor-critic agent: sampling and differentiable re-evaluation.
+
+The agent samples the transformation head first, then the parameter
+heads of the chosen transformation (paper §V-A): tile-size rows for
+tiled transformations, the interchange candidate for enumerated mode, or
+one level pointer per sub-step.  The per-step log-probability is the sum
+over the heads actually sampled; PPO's importance ratios recompute the
+same sum differentiably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.actions import EnvAction, flat_action_table, interchange_head_size
+from ..env.config import EnvConfig, InterchangeMode
+from ..env.environment import Observation
+from ..env.masking import ActionMask
+from ..nn.distributions import MaskedCategorical
+from ..nn.tensor import Tensor
+from ..transforms.records import TransformKind
+from .policy import FlatPolicyNetwork, PolicyNetwork, ValueNetwork
+
+_TILED_KINDS = (
+    TransformKind.TILING,
+    TransformKind.TILED_PARALLELIZATION,
+    TransformKind.TILED_FUSION,
+)
+_TILE_HEAD_NAME = {
+    TransformKind.TILING: "tiling",
+    TransformKind.TILED_PARALLELIZATION: "parallelization",
+    TransformKind.TILED_FUSION: "fusion",
+}
+
+
+@dataclass
+class SampledStep:
+    """Everything PPO needs to replay one decision."""
+
+    consumer: np.ndarray
+    producer: np.ndarray
+    transformation: int
+    tile_indices: np.ndarray          # (N,), -1 when unused
+    interchange_index: int            # -1 when unused
+    mask_transformation: np.ndarray   # (6,)
+    mask_tiles: np.ndarray            # (N, M)
+    mask_interchange: np.ndarray
+    log_prob: float
+    value: float
+
+
+def _tile_mask_for(mask: ActionMask, kind: TransformKind) -> np.ndarray:
+    if kind is TransformKind.TILED_PARALLELIZATION:
+        return mask.tile_parallel
+    return mask.tile_tiling
+
+
+class ActorCritic:
+    """Multi-discrete actor + critic over the MLIR RL environment."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        rng: np.random.Generator,
+        hidden_size: int = 512,
+    ):
+        self.config = config
+        self.policy = PolicyNetwork(config, rng, hidden_size)
+        self.value = ValueNetwork(config, rng, hidden_size)
+
+    # -- acting -----------------------------------------------------------------
+
+    def act(
+        self, observation: Observation, rng: np.random.Generator,
+        greedy: bool = False,
+    ) -> tuple[EnvAction, SampledStep]:
+        producer = Tensor(observation.producer[None, :])
+        consumer = Tensor(observation.consumer[None, :])
+        heads = self.policy(producer, consumer)
+        value = float(self.value(producer, consumer).data[0])
+        mask = observation.mask
+
+        trans_dist = MaskedCategorical(
+            heads["transformation"], mask.transformation[None, :]
+        )
+        if greedy:
+            trans = int(trans_dist.mode()[0])
+        else:
+            trans = int(trans_dist.sample(rng)[0])
+        log_prob = float(trans_dist.log_prob(np.array([trans])).data[0])
+        kind = TransformKind(trans)
+
+        n = self.config.max_loops
+        tile_indices = np.full(n, -1, dtype=np.int64)
+        interchange_index = -1
+        tile_mask_used = mask.tile_tiling
+        if kind in _TILED_KINDS:
+            tile_mask_used = _tile_mask_for(mask, kind)
+            tile_dist = MaskedCategorical(
+                heads[_TILE_HEAD_NAME[kind]], tile_mask_used[None, :, :]
+            )
+            if greedy:
+                sampled = tile_dist.mode()[0]
+            else:
+                sampled = tile_dist.sample(rng)[0]
+            tile_indices = sampled.astype(np.int64)
+            log_prob += float(
+                tile_dist.log_prob(tile_indices[None, :]).sum().data
+            )
+        elif kind is TransformKind.INTERCHANGE:
+            inter_dist = MaskedCategorical(
+                heads["interchange"], mask.interchange[None, :]
+            )
+            if greedy:
+                interchange_index = int(inter_dist.mode()[0])
+            else:
+                interchange_index = int(inter_dist.sample(rng)[0])
+            log_prob += float(
+                inter_dist.log_prob(np.array([interchange_index])).data[0]
+            )
+
+        action = self._to_env_action(kind, tile_indices, interchange_index)
+        step = SampledStep(
+            consumer=observation.consumer,
+            producer=observation.producer,
+            transformation=trans,
+            tile_indices=tile_indices,
+            interchange_index=interchange_index,
+            mask_transformation=mask.transformation.copy(),
+            mask_tiles=tile_mask_used.copy(),
+            mask_interchange=mask.interchange.copy(),
+            log_prob=log_prob,
+            value=value,
+        )
+        return action, step
+
+    def _to_env_action(
+        self,
+        kind: TransformKind,
+        tile_indices: np.ndarray,
+        interchange_index: int,
+    ) -> EnvAction:
+        if kind in _TILED_KINDS:
+            return EnvAction(kind, tile_indices=tuple(int(i) for i in tile_indices))
+        if kind is TransformKind.INTERCHANGE:
+            if self.config.interchange_mode is InterchangeMode.LEVEL_POINTERS:
+                return EnvAction(kind, pointer_loop=interchange_index)
+            return EnvAction(kind, interchange_candidate=interchange_index)
+        return EnvAction(kind)
+
+    # -- PPO re-evaluation ---------------------------------------------------------
+
+    def evaluate(
+        self, steps: list[SampledStep]
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """(log_probs, entropies, values) for a minibatch, differentiable."""
+        producer = Tensor(np.stack([s.producer for s in steps]))
+        consumer = Tensor(np.stack([s.consumer for s in steps]))
+        heads = self.policy(producer, consumer)
+        values = self.value(producer, consumer)
+        batch = len(steps)
+
+        trans_actions = np.array([s.transformation for s in steps])
+        trans_mask = np.stack([s.mask_transformation for s in steps])
+        trans_dist = MaskedCategorical(heads["transformation"], trans_mask)
+        log_probs = trans_dist.log_prob(trans_actions)
+        entropies = trans_dist.entropy()
+
+        # Tile heads: each sample uses at most one of the three heads.
+        tile_mask = np.stack([s.mask_tiles for s in steps])
+        tile_actions = np.stack([s.tile_indices for s in steps])
+        tile_used = tile_actions[:, 0] >= 0
+        safe_actions = np.where(tile_actions < 0, 0, tile_actions)
+        for kind, name in _TILE_HEAD_NAME.items():
+            indicator = np.array(
+                [
+                    1.0 if (s.tile_indices[0] >= 0 and s.transformation == kind)
+                    else 0.0
+                    for s in steps
+                ]
+            )
+            if not indicator.any():
+                continue
+            dist = MaskedCategorical(heads[name], tile_mask)
+            per_level = dist.log_prob(safe_actions)      # (B, N)
+            summed = per_level.sum(axis=1)
+            log_probs = log_probs + summed * Tensor(indicator)
+            entropies = entropies + dist.entropy().sum(axis=1) * Tensor(
+                indicator
+            )
+
+        inter_actions = np.array([s.interchange_index for s in steps])
+        inter_used = inter_actions >= 0
+        if inter_used.any():
+            inter_mask = np.stack([s.mask_interchange for s in steps])
+            # Rows with no legal interchange never sampled it; make their
+            # mask trivially valid to keep the distribution well-formed.
+            invalid_rows = ~inter_mask.any(axis=-1)
+            if invalid_rows.any():
+                inter_mask = inter_mask.copy()
+                inter_mask[invalid_rows, 0] = True
+            dist = MaskedCategorical(heads["interchange"], inter_mask)
+            safe = np.where(inter_actions < 0, 0, inter_actions)
+            indicator = Tensor(inter_used.astype(np.float64))
+            log_probs = log_probs + dist.log_prob(safe) * indicator
+            entropies = entropies + dist.entropy() * indicator
+
+        return log_probs, entropies, values
+
+
+class FlatActorCritic:
+    """Ablation agent over the flat action space (§VII-D2)."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        rng: np.random.Generator,
+        hidden_size: int = 512,
+    ):
+        self.config = config
+        self.table = flat_action_table(config)
+        self.policy = FlatPolicyNetwork(config, len(self.table), rng, hidden_size)
+        self.value = ValueNetwork(config, rng, hidden_size)
+
+    def flat_mask(self, mask: ActionMask, num_loops: int) -> np.ndarray:
+        """Legality of each flat table entry under the current masks."""
+        sizes = self.config.tile_sizes
+        legal = np.zeros(len(self.table), dtype=bool)
+        for index, flat in enumerate(self.table):
+            kind = flat.kind
+            if not mask.transformation[kind]:
+                continue
+            if kind in _TILED_KINDS:
+                if flat.level >= num_loops:
+                    continue
+                size_index = sizes.index(flat.tile_size)
+                tile_mask = _tile_mask_for(mask, kind)
+                legal[index] = bool(tile_mask[flat.level, size_index])
+            elif kind is TransformKind.INTERCHANGE:
+                moved = [
+                    p for p, q in enumerate(flat.permutation) if p != q
+                ]
+                legal[index] = all(p < num_loops for p in moved)
+            else:
+                legal[index] = True
+        if not legal.any():
+            legal[-1] = True  # no-transformation fallback
+        return legal
+
+    def act(
+        self,
+        observation: Observation,
+        num_loops: int,
+        rng: np.random.Generator,
+    ) -> tuple["FlatSampledStep", int]:
+        producer = Tensor(observation.producer[None, :])
+        consumer = Tensor(observation.consumer[None, :])
+        logits = self.policy(producer, consumer)
+        value = float(self.value(producer, consumer).data[0])
+        legal = self.flat_mask(observation.mask, num_loops)
+        dist = MaskedCategorical(logits, legal[None, :])
+        choice = int(dist.sample(rng)[0])
+        log_prob = float(dist.log_prob(np.array([choice])).data[0])
+        step = FlatSampledStep(
+            consumer=observation.consumer,
+            producer=observation.producer,
+            action=choice,
+            mask=legal,
+            log_prob=log_prob,
+            value=value,
+        )
+        return step, choice
+
+    def evaluate(
+        self, steps: list["FlatSampledStep"]
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        producer = Tensor(np.stack([s.producer for s in steps]))
+        consumer = Tensor(np.stack([s.consumer for s in steps]))
+        logits = self.policy(producer, consumer)
+        values = self.value(producer, consumer)
+        masks = np.stack([s.mask for s in steps])
+        dist = MaskedCategorical(logits, masks)
+        actions = np.array([s.action for s in steps])
+        return dist.log_prob(actions), dist.entropy(), values
+
+
+@dataclass
+class FlatSampledStep:
+    """Replay record for the flat agent."""
+
+    consumer: np.ndarray
+    producer: np.ndarray
+    action: int
+    mask: np.ndarray
+    log_prob: float
+    value: float

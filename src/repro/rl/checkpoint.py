@@ -1,0 +1,40 @@
+"""Checkpointing: save/load agent weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .agent import ActorCritic
+
+
+def save_agent(agent: ActorCritic, path: str | Path) -> None:
+    """Serialize policy + value parameters to an npz archive."""
+    arrays: dict[str, np.ndarray] = {}
+    for index, parameter in enumerate(agent.policy.parameters()):
+        arrays[f"policy_{index}"] = parameter.data
+    for index, parameter in enumerate(agent.value.parameters()):
+        arrays[f"value_{index}"] = parameter.data
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_agent(agent: ActorCritic, path: str | Path) -> None:
+    """Restore parameters saved by :func:`save_agent` (shapes must match)."""
+    archive = np.load(Path(path))
+    for index, parameter in enumerate(agent.policy.parameters()):
+        array = archive[f"policy_{index}"]
+        if parameter.data.shape != array.shape:
+            raise ValueError(
+                f"policy parameter {index}: checkpoint shape {array.shape} "
+                f"!= model shape {parameter.data.shape}"
+            )
+        parameter.data = array.copy()
+    for index, parameter in enumerate(agent.value.parameters()):
+        array = archive[f"value_{index}"]
+        if parameter.data.shape != array.shape:
+            raise ValueError(
+                f"value parameter {index}: checkpoint shape {array.shape} "
+                f"!= model shape {parameter.data.shape}"
+            )
+        parameter.data = array.copy()

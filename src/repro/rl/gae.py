@@ -1,0 +1,41 @@
+"""Generalized Advantage Estimation.
+
+Paper settings (§VII-A5): discount ``gamma = 1.0`` (rewards are delayed
+to the end of the trajectory, so no further discounting) and GAE
+``lambda = 0.95`` to balance bias and variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def compute_gae(
+    rewards: list[float],
+    values: list[float],
+    gamma: float = 1.0,
+    lam: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-step (advantages, returns) for one finished episode.
+
+    The episode is complete, so the bootstrap value after the terminal
+    step is zero.
+    """
+    length = len(rewards)
+    advantages = np.zeros(length, dtype=np.float64)
+    last = 0.0
+    for t in range(length - 1, -1, -1):
+        next_value = values[t + 1] if t + 1 < length else 0.0
+        delta = rewards[t] + gamma * next_value - values[t]
+        last = delta + gamma * lam * last
+        advantages[t] = last
+    returns = advantages + np.asarray(values, dtype=np.float64)
+    return advantages, returns
+
+
+def normalize_advantages(advantages: np.ndarray) -> np.ndarray:
+    """Standard z-normalization (guarding the degenerate batch)."""
+    std = advantages.std()
+    if std < 1e-8:
+        return advantages - advantages.mean()
+    return (advantages - advantages.mean()) / std

@@ -1,0 +1,123 @@
+"""The multi-discrete policy network (paper §V-A, Figs. 3–4).
+
+Three components:
+
+1. **producer-consumer embedding** — the representation vectors of the
+   producer and the consumer are fed sequentially through an LSTM; the
+   final hidden state is the embedding (§V-A1);
+2. **backbone** — three 512-unit fully connected ReLU layers (§V-A2);
+3. **action heads** (§V-A3) —
+   * transformation selection: a 6-way softmax;
+   * tiled transformations: three heads of shape N x M, one row-softmax
+     per loop level (tile-size distribution per level);
+   * interchange: ``3N - 6`` logits for enumerated candidates, or ``N``
+     logits for level pointers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import interchange_head_size
+from ..env.config import EnvConfig
+from ..env.features import feature_size
+from ..nn.layers import LSTMEncoder, Linear, MLP, Module
+from ..nn.tensor import Tensor
+
+
+class PolicyNetwork(Module):
+    """Actor: maps (producer, consumer) features to head logits."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        rng: np.random.Generator,
+        hidden_size: int = 512,
+    ):
+        self.config = config
+        self.hidden_size = hidden_size
+        self.input_size = feature_size(config)
+        n = config.max_loops
+        m = config.num_tile_sizes
+        self.encoder = LSTMEncoder(self.input_size, hidden_size, rng)
+        self.backbone = MLP(
+            [hidden_size, hidden_size, hidden_size, hidden_size], rng
+        )
+        self.head_transformation = Linear(hidden_size, 6, rng)
+        self.head_tiling = Linear(hidden_size, n * m, rng)
+        self.head_parallelization = Linear(hidden_size, n * m, rng)
+        self.head_fusion = Linear(hidden_size, n * m, rng)
+        self.head_interchange = Linear(
+            hidden_size, interchange_head_size(config), rng
+        )
+
+    def embed(self, producer: Tensor, consumer: Tensor) -> Tensor:
+        """Producer-consumer embedding -> backbone feature vector."""
+        hidden = self.encoder([producer, consumer])
+        return self.backbone(hidden)
+
+    def __call__(
+        self, producer: Tensor, consumer: Tensor
+    ) -> dict[str, Tensor]:
+        """All head logits for a batch.
+
+        Inputs are (B, feature) tensors; tile heads are reshaped to
+        (B, N, M) so each loop level has its own distribution.
+        """
+        features = self.embed(producer, consumer)
+        batch = features.shape[0]
+        n = self.config.max_loops
+        m = self.config.num_tile_sizes
+        return {
+            "transformation": self.head_transformation(features),
+            "tiling": self.head_tiling(features).reshape(batch, n, m),
+            "parallelization": self.head_parallelization(features).reshape(
+                batch, n, m
+            ),
+            "fusion": self.head_fusion(features).reshape(batch, n, m),
+            "interchange": self.head_interchange(features),
+        }
+
+
+class FlatPolicyNetwork(Module):
+    """Ablation actor: one softmax over the flat action table (§VII-D)."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        num_actions: int,
+        rng: np.random.Generator,
+        hidden_size: int = 512,
+    ):
+        self.config = config
+        self.input_size = feature_size(config)
+        self.encoder = LSTMEncoder(self.input_size, hidden_size, rng)
+        self.backbone = MLP(
+            [hidden_size, hidden_size, hidden_size, hidden_size], rng
+        )
+        self.head = Linear(hidden_size, num_actions, rng)
+
+    def __call__(self, producer: Tensor, consumer: Tensor) -> Tensor:
+        hidden = self.encoder([producer, consumer])
+        return self.head(self.backbone(hidden))
+
+
+class ValueNetwork(Module):
+    """Critic (§V-B): same embedding + backbone shape, scalar output."""
+
+    def __init__(
+        self,
+        config: EnvConfig,
+        rng: np.random.Generator,
+        hidden_size: int = 512,
+    ):
+        self.input_size = feature_size(config)
+        self.encoder = LSTMEncoder(self.input_size, hidden_size, rng)
+        self.backbone = MLP(
+            [hidden_size, hidden_size, hidden_size, hidden_size], rng
+        )
+        self.head = Linear(hidden_size, 1, rng)
+
+    def __call__(self, producer: Tensor, consumer: Tensor) -> Tensor:
+        hidden = self.encoder([producer, consumer])
+        return self.head(self.backbone(hidden)).reshape(-1)

@@ -1,0 +1,220 @@
+"""Proximal Policy Optimization (paper §VII-A5).
+
+Hyper-parameters follow the paper: learning rate 1e-3, clip range 0.2,
+gamma 1.0, GAE lambda 0.95, value-loss coefficient 0.5, entropy
+coefficient 0.01, minibatch size 32, and 4 update epochs per collected
+batch of trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..env.environment import MlirRlEnv
+from ..ir.ops import FuncOp
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor, where
+from .agent import ActorCritic, FlatActorCritic
+from .gae import compute_gae, normalize_advantages
+from .rollout import Trajectory, collect_episode, collect_flat_episode
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (paper defaults)."""
+
+    learning_rate: float = 1e-3
+    clip_range: float = 0.2
+    gamma: float = 1.0
+    gae_lambda: float = 0.95
+    value_coefficient: float = 0.5
+    entropy_coefficient: float = 0.01
+    update_epochs: int = 4
+    minibatch_size: int = 32
+    samples_per_iteration: int = 64
+    max_grad_norm: float = 0.5
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration training telemetry."""
+
+    iteration: int
+    mean_reward: float
+    geomean_speedup: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    executions: int
+    wall_seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    def speedups(self) -> list[float]:
+        return [s.geomean_speedup for s in self.iterations]
+
+    def wall_clock(self) -> list[float]:
+        total, out = 0.0, []
+        for stats in self.iterations:
+            total += stats.wall_seconds
+            out.append(total)
+        return out
+
+
+def _geomean(values: Sequence[float]) -> float:
+    clipped = [max(v, 1e-12) for v in values]
+    return math.exp(sum(math.log(v) for v in clipped) / max(len(clipped), 1))
+
+
+class PPOTrainer:
+    """Trains the multi-discrete actor-critic on an environment."""
+
+    def __init__(
+        self,
+        env: MlirRlEnv,
+        agent: ActorCritic,
+        sampler: Callable[[np.random.Generator], FuncOp],
+        config: PPOConfig = PPOConfig(),
+        seed: int = 0,
+    ):
+        self.env = env
+        self.agent = agent
+        self.sampler = sampler
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        parameters = list(agent.policy.parameters()) + list(
+            agent.value.parameters()
+        )
+        self.optimizer = Adam(parameters, lr=config.learning_rate)
+        self.history = TrainingHistory()
+
+    # -- collection ------------------------------------------------------------
+
+    def collect(self) -> list[Trajectory]:
+        trajectories = []
+        for _ in range(self.config.samples_per_iteration):
+            func = self.sampler(self.rng)
+            trajectories.append(
+                collect_episode(self.env, self.agent, func, self.rng)
+            )
+        return trajectories
+
+    # -- update ---------------------------------------------------------------
+
+    def _flatten(self, trajectories: list[Trajectory]):
+        steps, advantages, returns = [], [], []
+        for trajectory in trajectories:
+            values = [s.value for s in trajectory.steps]
+            adv, ret = compute_gae(
+                trajectory.rewards,
+                values,
+                self.config.gamma,
+                self.config.gae_lambda,
+            )
+            steps.extend(trajectory.steps)
+            advantages.extend(adv)
+            returns.extend(ret)
+        return steps, np.asarray(advantages), np.asarray(returns)
+
+    def update(self, trajectories: list[Trajectory]) -> tuple[float, float, float]:
+        steps, advantages, returns = self._flatten(trajectories)
+        advantages = normalize_advantages(advantages)
+        old_log_probs = np.array([s.log_prob for s in steps])
+        indices = np.arange(len(steps))
+        policy_losses, value_losses, entropies = [], [], []
+        for _ in range(self.config.update_epochs):
+            self.rng.shuffle(indices)
+            for start in range(0, len(indices), self.config.minibatch_size):
+                batch = indices[start : start + self.config.minibatch_size]
+                if len(batch) < 2:
+                    continue
+                mb_steps = [steps[i] for i in batch]
+                log_probs, entropy, values = self.agent.evaluate(mb_steps)
+                ratio = (log_probs - Tensor(old_log_probs[batch])).exp()
+                mb_advantage = Tensor(advantages[batch])
+                unclipped = ratio * mb_advantage
+                clipped = (
+                    ratio.clip_value(
+                        1.0 - self.config.clip_range,
+                        1.0 + self.config.clip_range,
+                    )
+                    * mb_advantage
+                )
+                smaller = where(
+                    unclipped.data <= clipped.data, unclipped, clipped
+                )
+                policy_loss = -smaller.mean()
+                value_loss = ((values - Tensor(returns[batch])) ** 2).mean()
+                entropy_bonus = entropy.mean()
+                loss = (
+                    policy_loss
+                    + self.config.value_coefficient * value_loss
+                    - self.config.entropy_coefficient * entropy_bonus
+                )
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(
+                    self.optimizer.parameters, self.config.max_grad_norm
+                )
+                self.optimizer.step()
+                policy_losses.append(policy_loss.item())
+                value_losses.append(value_loss.item())
+                entropies.append(entropy_bonus.item())
+        return (
+            float(np.mean(policy_losses)) if policy_losses else 0.0,
+            float(np.mean(value_losses)) if value_losses else 0.0,
+            float(np.mean(entropies)) if entropies else 0.0,
+        )
+
+    # -- loop ------------------------------------------------------------------
+
+    def train(self, iterations: int) -> TrainingHistory:
+        for iteration in range(iterations):
+            start = time.perf_counter()
+            trajectories = self.collect()
+            policy_loss, value_loss, entropy = self.update(trajectories)
+            wall = time.perf_counter() - start
+            rewards = [sum(t.rewards) for t in trajectories]
+            stats = IterationStats(
+                iteration=iteration,
+                mean_reward=float(np.mean(rewards)),
+                geomean_speedup=_geomean([t.speedup for t in trajectories]),
+                policy_loss=policy_loss,
+                value_loss=value_loss,
+                entropy=entropy,
+                executions=sum(t.executions for t in trajectories),
+                wall_seconds=wall,
+            )
+            self.history.iterations.append(stats)
+        return self.history
+
+
+class FlatPPOTrainer(PPOTrainer):
+    """PPO over the flat action space (ablation §VII-D2)."""
+
+    def __init__(
+        self,
+        env: MlirRlEnv,
+        agent: FlatActorCritic,
+        sampler: Callable[[np.random.Generator], FuncOp],
+        config: PPOConfig = PPOConfig(),
+        seed: int = 0,
+    ):
+        super().__init__(env, agent, sampler, config, seed)  # type: ignore[arg-type]
+
+    def collect(self) -> list[Trajectory]:
+        trajectories = []
+        for _ in range(self.config.samples_per_iteration):
+            func = self.sampler(self.rng)
+            trajectories.append(
+                collect_flat_episode(self.env, self.agent, func, self.rng)
+            )
+        return trajectories

@@ -1,0 +1,116 @@
+"""Trajectory collection.
+
+A trajectory is the full transformation sequence for every operation of
+one code sample (paper §VII-A5).  The collector runs the current policy
+over a batch of samples and records everything PPO needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..env.environment import MlirRlEnv
+from ..ir.ops import FuncOp
+from .agent import ActorCritic, FlatActorCritic, FlatSampledStep, SampledStep
+
+
+@dataclass
+class Trajectory:
+    """One episode: per-step records plus rewards and the final speedup."""
+
+    steps: list = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    speedup: float = 1.0
+    executions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def collect_episode(
+    env: MlirRlEnv,
+    agent: ActorCritic,
+    func: FuncOp,
+    rng: np.random.Generator,
+    max_steps: int = 200,
+    greedy: bool = False,
+) -> Trajectory:
+    """Run one episode with the multi-discrete agent."""
+    trajectory = Trajectory()
+    observation = env.reset(func)
+    for _ in range(max_steps):
+        action, step = agent.act(observation, rng, greedy=greedy)
+        result = env.step(action)
+        trajectory.steps.append(step)
+        trajectory.rewards.append(result.reward)
+        trajectory.executions = result.info.get(
+            "executions", trajectory.executions
+        )
+        if result.done:
+            trajectory.speedup = result.info.get("speedup", 1.0)
+            break
+        observation = result.observation
+    else:
+        trajectory.speedup = env.final_speedup()
+    return trajectory
+
+
+def collect_flat_episode(
+    env: MlirRlEnv,
+    agent: FlatActorCritic,
+    func: FuncOp,
+    rng: np.random.Generator,
+    max_steps: int = 200,
+) -> Trajectory:
+    """Run one episode with the flat-action agent (ablation)."""
+    from ..env.actions import EnvAction  # local import to avoid a cycle
+
+    trajectory = Trajectory()
+    observation = env.reset(func)
+    for _ in range(max_steps):
+        num_loops = env.current_schedule().num_loops
+        step, choice = agent.act(observation, num_loops, rng)
+        flat = agent.table[choice]
+        record = flat.to_record(num_loops)
+        env_action = _flat_to_env_action(flat, record)
+        result = env.step(env_action)
+        trajectory.steps.append(step)
+        trajectory.rewards.append(result.reward)
+        trajectory.executions = result.info.get(
+            "executions", trajectory.executions
+        )
+        if result.done:
+            trajectory.speedup = result.info.get("speedup", 1.0)
+            break
+        observation = result.observation
+    else:
+        trajectory.speedup = env.final_speedup()
+    return trajectory
+
+
+def _flat_to_env_action(flat, record):
+    """Convert a flat table entry into the env's action format.
+
+    Flat actions carry fully-decoded records, so they use the record
+    bypass rather than the multi-discrete decoding path.
+    """
+    from ..env.actions import EnvAction
+
+    return EnvAction(flat.kind, record=record)
+
+
+def collect_batch(
+    env: MlirRlEnv,
+    agent: ActorCritic,
+    functions: Sequence[FuncOp],
+    rng: np.random.Generator,
+    max_steps: int = 200,
+) -> list[Trajectory]:
+    """One trajectory per code sample."""
+    return [
+        collect_episode(env, agent, func, rng, max_steps)
+        for func in functions
+    ]

@@ -1,0 +1,117 @@
+"""Code transformations: the action space of MLIR RL, with MLIR semantics.
+
+Tiling, tiled parallelization, tiled fusion, interchange and
+vectorization over scheduled linalg ops, plus lowering to the explicit
+loop-nest IR the machine model executes.
+"""
+
+from .fusion import (
+    apply_tiled_fusion,
+    fusable_producer,
+    intermediate_value_dims,
+    recompute_factor,
+)
+from .interchange import (
+    apply_interchange,
+    enumerated_candidates,
+    swap_candidate_count,
+)
+from .loop_nest import (
+    Access,
+    FusedNest,
+    Loop,
+    LoweredNest,
+    coverage_per_dim,
+    footprint_elems,
+)
+from .lowering import (
+    access_patterns,
+    lower_baseline,
+    lower_function,
+    lower_scheduled_op,
+)
+from .pipeline import ScheduledFunction, apply_schedule
+from .records import (
+    Interchange,
+    NoTransformation,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    TransformKind,
+    Transformation,
+    Vectorization,
+    identity_permutation,
+    is_permutation,
+)
+from .loop_printer import print_nest, print_nests
+from .multi_fusion import (
+    MultiTiledFusion,
+    apply_multi_tiled_fusion,
+    fusable_producers,
+)
+from .scheduled_op import Band, BandLoop, FusedProducer, ScheduledOp, TransformError
+from .script import ScriptError, apply_script, parse_script, render_script
+from .tiling import (
+    apply_tiled_parallelization,
+    apply_tiling,
+    legal_tile_positions,
+)
+from .vectorization import (
+    MAX_VECTOR_INNER_TRIP,
+    apply_vectorization,
+    can_vectorize,
+    vectorization_precondition,
+)
+
+__all__ = [
+    "Access",
+    "Band",
+    "BandLoop",
+    "FusedNest",
+    "FusedProducer",
+    "Interchange",
+    "Loop",
+    "LoweredNest",
+    "MAX_VECTOR_INNER_TRIP",
+    "MultiTiledFusion",
+    "NoTransformation",
+    "ScheduledFunction",
+    "ScheduledOp",
+    "TiledFusion",
+    "TiledParallelization",
+    "Tiling",
+    "TransformError",
+    "TransformKind",
+    "Transformation",
+    "Vectorization",
+    "ScriptError",
+    "access_patterns",
+    "apply_interchange",
+    "apply_multi_tiled_fusion",
+    "apply_schedule",
+    "apply_script",
+    "apply_tiled_fusion",
+    "apply_tiled_parallelization",
+    "apply_tiling",
+    "apply_vectorization",
+    "can_vectorize",
+    "coverage_per_dim",
+    "enumerated_candidates",
+    "footprint_elems",
+    "fusable_producer",
+    "fusable_producers",
+    "identity_permutation",
+    "intermediate_value_dims",
+    "is_permutation",
+    "legal_tile_positions",
+    "lower_baseline",
+    "lower_function",
+    "lower_scheduled_op",
+    "parse_script",
+    "print_nest",
+    "print_nests",
+    "recompute_factor",
+    "render_script",
+    "swap_candidate_count",
+    "vectorization_precondition",
+]

@@ -1,0 +1,103 @@
+"""Tiled producer→consumer fusion (paper §IV-A).
+
+In linalg, a consumer must be tiled before fusion: tiling creates explicit
+outer tile loops, and only then can the producer be cloned inside them so
+that each tile computes the slice of the producer result it needs.
+``Tiled Fusion`` therefore bundles both steps: tile the consumer, then
+fuse its *last* producer (the textually closest one, paper §III) into the
+generated band.
+
+The cost consequences captured for the machine model:
+
+* the intermediate tensor no longer makes a main-memory round trip when a
+  tile's slice fits in cache;
+* the producer may be *recomputed* across consumer tiles whenever the
+  consumer reads each intermediate element from several tiles (the
+  recompute factor is the number of tile-band iterations whose dims do not
+  index the intermediate tensor).
+"""
+
+from __future__ import annotations
+
+from ..ir.ops import FuncOp, LinalgOp
+from .records import TiledFusion
+from .scheduled_op import FusedProducer, ScheduledOp, TransformError
+
+
+def fusable_producer(
+    func: FuncOp, schedule: ScheduledOp, scheduled: dict[int, ScheduledOp]
+) -> ScheduledOp | None:
+    """The producer that a TiledFusion action would fuse, if any.
+
+    Returns the ScheduledOp of the last producer of ``schedule.op`` that
+    has not already been fused elsewhere, or None when fusion is illegal.
+    """
+    producer_op = func.last_producer(schedule.op)
+    if producer_op is None:
+        return None
+    producer = scheduled.get(id(producer_op))
+    if producer is None:
+        producer = ScheduledOp(producer_op)
+        scheduled[id(producer_op)] = producer
+    if producer.fused_into is not None:
+        return None
+    if producer.vectorized:
+        # A vectorized producer is already rewritten into vector ops and
+        # can no longer be cloned into tile loops (paper appendix A).
+        return None
+    return producer
+
+
+def apply_tiled_fusion(
+    func: FuncOp,
+    schedule: ScheduledOp,
+    transform: TiledFusion,
+    scheduled: dict[int, ScheduledOp],
+) -> ScheduledOp:
+    """Tile ``schedule`` and fuse its last producer into the new band.
+
+    Returns the fused producer's schedule.  Raises
+    :class:`TransformError` when no legal producer exists.
+    """
+    producer = fusable_producer(func, schedule, scheduled)
+    if producer is None:
+        raise TransformError(
+            f"{schedule.op.name} has no fusable producer"
+        )
+    schedule.materialize_band(transform.sizes, parallel=False)
+    producer.fused_into = schedule
+    schedule.fused.append(
+        FusedProducer(producer, band_index=len(schedule.bands) - 1)
+    )
+    schedule.history.append(transform)
+    return producer
+
+
+def intermediate_value_dims(
+    consumer: ScheduledOp, producer: ScheduledOp
+) -> set[int]:
+    """Consumer iteration dims that index the fused intermediate tensor.
+
+    Band loops over dims *outside* this set re-read (and hence recompute)
+    the same intermediate elements — the source of the recompute factor.
+    """
+    producer_results = {id(r) for r in producer.op.results}
+    dims: set[int] = set()
+    for value, map_ in zip(consumer.op.operands, consumer.op.indexing_maps):
+        if id(value) in producer_results:
+            dims |= map_.dims_used()
+    return dims
+
+
+def recompute_factor(consumer: ScheduledOp, producer: ScheduledOp) -> float:
+    """How many times each producer point executes after fusion (>= 1)."""
+    dims = intermediate_value_dims(consumer, producer)
+    factor = 1.0
+    fused_bands = {
+        fp.band_index for fp in consumer.fused if fp.producer is producer
+    }
+    for band_index in fused_bands:
+        for loop in consumer.bands[band_index].loops:
+            if loop.dim not in dims:
+                factor *= loop.trip
+    return factor

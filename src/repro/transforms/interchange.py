@@ -1,0 +1,60 @@
+"""Loop interchange (paper §IV-A).
+
+Interchange permutes the iteration space of the current inner linalg op:
+``I(a1..aN)`` places the loop at *old* position ``a_i`` at *new* position
+``i`` (so ``I(2,0,1)`` moves the innermost loop of a 3-deep nest to the
+outermost position).  Already-materialized tile bands are unaffected, as
+in MLIR's ``transform.structured.interchange``.
+
+Two action-space encodings are provided (§IV-A1):
+
+* *enumerated candidates* — swaps of two loop positions separated by one,
+  two or three levels, ``3N - 6`` candidates for an N-deep nest;
+* *level pointers* — the permutation is built level by level by a pointer
+  head; this module only validates/applies the final permutation.
+"""
+
+from __future__ import annotations
+
+from .records import Interchange, is_permutation
+from .scheduled_op import ScheduledOp, TransformError
+
+
+def apply_interchange(schedule: ScheduledOp, transform: Interchange) -> None:
+    """Permute the inner op's loops per ``transform.permutation``."""
+    if schedule.vectorized:
+        raise TransformError("cannot interchange a vectorized op")
+    perm = transform.permutation
+    if len(perm) != schedule.num_loops:
+        raise TransformError(
+            f"permutation over {len(perm)} positions for "
+            f"{schedule.num_loops} loops"
+        )
+    if not is_permutation(perm):
+        raise TransformError(f"{perm} is not a permutation")
+    schedule.order = [schedule.order[p] for p in perm]
+    schedule.history.append(transform)
+
+
+def enumerated_candidates(num_loops: int) -> list[tuple[int, ...]]:
+    """The restricted swap set: positions separated by 1, 2 or 3 levels.
+
+    Yields ``3N - 6`` permutations for ``N >= 4`` (fewer for shallow
+    nests), matching the paper's action-space size for the enumerated
+    formulation.
+    """
+    candidates: list[tuple[int, ...]] = []
+    for distance in (1, 2, 3):
+        for low in range(num_loops - distance):
+            high = low + distance
+            perm = list(range(num_loops))
+            perm[low], perm[high] = perm[high], perm[low]
+            candidates.append(tuple(perm))
+    return candidates
+
+
+def swap_candidate_count(num_loops: int) -> int:
+    """Size of the enumerated-candidates subspace for an N-deep nest."""
+    return sum(
+        max(0, num_loops - distance) for distance in (1, 2, 3)
+    )

@@ -1,0 +1,110 @@
+"""Schedule application pipeline: dispatch transformation records.
+
+:class:`ScheduledFunction` owns the per-op schedule state for one
+function and applies transformation records with the paper's semantics,
+including the producer bookkeeping that tiled fusion needs.
+"""
+
+from __future__ import annotations
+
+from ..ir.ops import FuncOp, LinalgOp
+from .fusion import apply_tiled_fusion, fusable_producer
+from .interchange import apply_interchange
+from .loop_nest import LoweredNest
+from .lowering import lower_function
+from .records import (
+    Interchange,
+    NoTransformation,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    Transformation,
+    Vectorization,
+)
+from .scheduled_op import FusedProducer, ScheduledOp, TransformError
+from .tiling import apply_tiled_parallelization, apply_tiling
+from .vectorization import apply_vectorization
+
+
+class ScheduledFunction:
+    """Schedule state for every linalg op of one function."""
+
+    def __init__(self, func: FuncOp):
+        self.func = func
+        self._schedules: dict[int, ScheduledOp] = {}
+
+    def schedule_of(self, op: LinalgOp) -> ScheduledOp:
+        """The (lazily created) schedule state of ``op``."""
+        schedule = self._schedules.get(id(op))
+        if schedule is None:
+            schedule = ScheduledOp(op)
+            self._schedules[id(op)] = schedule
+        return schedule
+
+    def apply(self, op: LinalgOp, transform: Transformation) -> None:
+        """Apply one transformation record to ``op``'s schedule."""
+        schedule = self.schedule_of(op)
+        if isinstance(transform, Tiling):
+            apply_tiling(schedule, transform)
+        elif isinstance(transform, TiledParallelization):
+            apply_tiled_parallelization(schedule, transform)
+        elif isinstance(transform, TiledFusion):
+            apply_tiled_fusion(self.func, schedule, transform, self._schedules)
+        elif isinstance(transform, Interchange):
+            apply_interchange(schedule, transform)
+        elif isinstance(transform, Vectorization):
+            apply_vectorization(schedule, transform)
+        elif isinstance(transform, NoTransformation):
+            schedule.history.append(transform)
+        else:
+            raise TransformError(f"unknown transformation {transform!r}")
+
+    def fusable_producer_of(self, op: LinalgOp) -> ScheduledOp | None:
+        """The producer a TiledFusion on ``op`` would fuse, or None."""
+        return fusable_producer(
+            self.func, self.schedule_of(op), self._schedules
+        )
+
+    def lower(self) -> list[LoweredNest]:
+        """Lower all (non-fused) ops of the function."""
+        return lower_function(self.func, self._schedules)
+
+    def clone(self) -> "ScheduledFunction":
+        """Deep copy of all schedule state (for search agents).
+
+        Fusion links between schedules are remapped onto the clones.
+        """
+        copy = ScheduledFunction(self.func)
+        mapping: dict[int, ScheduledOp] = {}
+        for key, schedule in self._schedules.items():
+            cloned = schedule.clone_state()
+            mapping[id(schedule)] = cloned
+            copy._schedules[key] = cloned
+        for cloned in copy._schedules.values():
+            if cloned.fused_into is not None:
+                cloned.fused_into = mapping.get(
+                    id(cloned.fused_into), cloned.fused_into
+                )
+            remapped = []
+            for fused in cloned.fused:
+                producer = mapping.get(id(fused.producer), fused.producer)
+                remapped.append(
+                    FusedProducer(producer, fused.band_index)
+                )
+            cloned.fused = remapped
+        return copy
+
+    def schedules(self) -> list[ScheduledOp]:
+        return [self.schedule_of(op) for op in self.func.body]
+
+
+def apply_schedule(
+    func: FuncOp,
+    op: LinalgOp,
+    transforms: list[Transformation],
+) -> ScheduledFunction:
+    """Convenience: apply a transformation sequence to one op."""
+    scheduled = ScheduledFunction(func)
+    for transform in transforms:
+        scheduled.apply(op, transform)
+    return scheduled

@@ -1,0 +1,144 @@
+"""Schedule serialization — a transform-dialect-style script format.
+
+MLIR drives structured transformations from the *transform dialect*;
+this module provides the equivalent artifact for our schedules: a
+one-line-per-action textual format that round-trips through a parser,
+so discovered schedules can be saved, diffed, and replayed (the
+``scripts/``-style reproducibility of the paper's artifact).
+
+Format, one op per block::
+
+    op @2 {
+      tile sizes = [8, 8, 0]
+      parallelize sizes = [1, 1, 0]
+      fuse sizes = [8, 0, 0]
+      interchange permutation = [2, 0, 1]
+      vectorize
+      stop
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..ir.ops import FuncOp
+from .pipeline import ScheduledFunction
+from .records import (
+    Interchange,
+    NoTransformation,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    Transformation,
+    Vectorization,
+)
+
+
+class ScriptError(ValueError):
+    """Raised on malformed transform scripts."""
+
+
+def _render_record(record: Transformation) -> str:
+    if isinstance(record, Tiling):
+        return f"tile sizes = {list(record.sizes)}"
+    if isinstance(record, TiledParallelization):
+        return f"parallelize sizes = {list(record.sizes)}"
+    if isinstance(record, TiledFusion):
+        return f"fuse sizes = {list(record.sizes)}"
+    if isinstance(record, Interchange):
+        return f"interchange permutation = {list(record.permutation)}"
+    if isinstance(record, Vectorization):
+        return "vectorize"
+    if isinstance(record, NoTransformation):
+        return "stop"
+    raise ScriptError(f"cannot serialize {record!r}")
+
+
+def render_script(scheduled: ScheduledFunction) -> str:
+    """Serialize every op's transformation history."""
+    lines: list[str] = []
+    for index, op in enumerate(scheduled.func.body):
+        schedule = scheduled.schedule_of(op)
+        if not schedule.history:
+            continue
+        lines.append(f"op @{index} {{")
+        for record in schedule.history:
+            lines.append(f"  {_render_record(record)}")
+        lines.append("}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_OP_RE = re.compile(r"op @(\d+) \{")
+_SIZES_RE = re.compile(
+    r"(tile|parallelize|fuse) sizes = \[([0-9, ]*)\]"
+)
+_INTERCHANGE_RE = re.compile(r"interchange permutation = \[([0-9, ]*)\]")
+
+
+def parse_script(text: str) -> dict[int, list[Transformation]]:
+    """Parse a script into per-op-index transformation lists."""
+    result: dict[int, list[Transformation]] = {}
+    current: list[Transformation] | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        header = _OP_RE.fullmatch(line)
+        if header:
+            current = result.setdefault(int(header.group(1)), [])
+            continue
+        if line == "}":
+            current = None
+            continue
+        if current is None:
+            raise ScriptError(f"directive outside an op block: {line!r}")
+        sized = _SIZES_RE.fullmatch(line)
+        if sized:
+            kind, body = sized.groups()
+            sizes = tuple(
+                int(part) for part in body.split(",") if part.strip()
+            )
+            record = {
+                "tile": Tiling,
+                "parallelize": TiledParallelization,
+                "fuse": TiledFusion,
+            }[kind](sizes)
+            current.append(record)
+            continue
+        inter = _INTERCHANGE_RE.fullmatch(line)
+        if inter:
+            perm = tuple(
+                int(part) for part in inter.group(1).split(",") if part.strip()
+            )
+            current.append(Interchange(perm))
+            continue
+        if line == "vectorize":
+            current.append(Vectorization())
+            continue
+        if line == "stop":
+            current.append(NoTransformation())
+            continue
+        raise ScriptError(f"unknown directive: {line!r}")
+    return result
+
+
+def apply_script(func: FuncOp, text: str) -> ScheduledFunction:
+    """Replay a script onto a function.
+
+    Op blocks are applied in *reverse body order* (the environment's
+    consumer-to-producer traversal), so fusion links re-establish the
+    way they were discovered.
+    """
+    records = parse_script(text)
+    scheduled = ScheduledFunction(func)
+    for index in sorted(records, reverse=True):
+        if index >= len(func.body):
+            raise ScriptError(
+                f"script references op @{index}, function has "
+                f"{len(func.body)} ops"
+            )
+        op = func.body[index]
+        for record in records[index]:
+            scheduled.apply(op, record)
+    return scheduled

@@ -1,0 +1,58 @@
+"""Vectorization of the innermost loop (paper §IV-A).
+
+MLIR's linalg vectorizer rewrites the whole inner op into vector-dialect
+ops, fully unrolling the innermost dimension — which is why the paper
+masks vectorization when the innermost loop exceeds 512 iterations, and
+why the action is *terminal*: a vectorized op exposes no further linalg
+transformations (paper appendix A).
+
+Preconditions mirror the paper's vectorization pre-condition feature:
+
+* static shapes (always true in this IR);
+* the innermost loop must not exceed :data:`MAX_VECTOR_INNER_TRIP`
+  iterations;
+* the op class must be supported by the vectorizer.  Max-pooling windows
+  and direct convolutions are *not* (§VII-C1: "the inability of our
+  system to vectorize these operations", and conv needs the img2col +
+  GEMM rewrite the action space does not expose).
+"""
+
+from __future__ import annotations
+
+from ..ir.ops import LinalgOp, OpKind
+from .records import Vectorization
+from .scheduled_op import ScheduledOp, TransformError
+
+#: MLIR fully unrolls the vectorized innermost loop; beyond this trip
+#: count the generated code explodes (paper §IV-A2).
+MAX_VECTOR_INNER_TRIP = 512
+
+#: Op classes the linalg vectorizer rejects in the paper's setup.
+_UNVECTORIZABLE_KINDS = frozenset({OpKind.POOLING, OpKind.CONV})
+
+
+def vectorization_precondition(op: LinalgOp) -> bool:
+    """The boolean pre-condition feature of Fig. 1 (shape-independent)."""
+    return op.kind not in _UNVECTORIZABLE_KINDS
+
+
+def can_vectorize(schedule: ScheduledOp) -> bool:
+    """Full action-mask check: preconditions plus innermost trip count."""
+    if schedule.vectorized:
+        return False
+    if not vectorization_precondition(schedule.op):
+        return False
+    return schedule.innermost_extent() <= MAX_VECTOR_INNER_TRIP
+
+
+def apply_vectorization(
+    schedule: ScheduledOp, transform: Vectorization
+) -> None:
+    """Vectorize the inner op.  Terminal: no further transforms apply."""
+    if not can_vectorize(schedule):
+        raise TransformError(
+            f"vectorization preconditions not met for {schedule.op.name} "
+            f"(innermost extent {schedule.innermost_extent()})"
+        )
+    schedule.vectorized = True
+    schedule.history.append(transform)

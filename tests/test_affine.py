@@ -1,0 +1,251 @@
+"""Unit tests for affine expressions and maps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.affine import (
+    AffineConstant,
+    AffineError,
+    AffineMap,
+    constant,
+    dim,
+    parse_affine_map,
+    symbol,
+)
+
+
+class TestExpressions:
+    def test_dim_evaluation(self):
+        assert dim(1).evaluate((5, 7, 9)) == 7
+
+    def test_constant_evaluation(self):
+        assert constant(42).evaluate(()) == 42
+
+    def test_symbol_evaluation(self):
+        assert symbol(0).evaluate((), (13,)) == 13
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(AffineError):
+            symbol(0).evaluate((1,), ())
+
+    def test_out_of_range_dim_raises(self):
+        with pytest.raises(AffineError):
+            dim(3).evaluate((1, 2))
+
+    def test_addition(self):
+        expr = dim(0) + dim(1)
+        assert expr.evaluate((3, 4)) == 7
+
+    def test_subtraction(self):
+        expr = dim(0) - 2
+        assert expr.evaluate((10,)) == 8
+
+    def test_multiplication_by_constant(self):
+        expr = 3 * dim(2)
+        assert expr.evaluate((0, 0, 5)) == 15
+
+    def test_negation(self):
+        assert (-dim(0)).evaluate((4,)) == -4
+
+    def test_floordiv(self):
+        assert dim(0).floordiv(4).evaluate((11,)) == 2
+
+    def test_ceildiv(self):
+        assert dim(0).ceildiv(4).evaluate((11,)) == 3
+
+    def test_mod(self):
+        assert dim(0).mod(4).evaluate((11,)) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(AffineError):
+            dim(0).floordiv(0).evaluate((4,))
+
+    def test_constant_folding(self):
+        expr = constant(2) + constant(3)
+        assert isinstance(expr, AffineConstant)
+        assert expr.value == 5
+
+    def test_multiply_by_zero_folds(self):
+        assert isinstance(dim(0) * 0, AffineConstant)
+
+    def test_add_zero_simplifies(self):
+        assert str(dim(0) + 0) == "d0"
+
+    def test_multiply_by_one_simplifies(self):
+        assert str(dim(0) * 1) == "d0"
+
+    def test_dims_used(self):
+        expr = dim(0) + 2 * dim(2)
+        assert expr.dims_used() == {0, 2}
+
+    def test_pure_affine(self):
+        assert (dim(0) + dim(1) * 3).is_pure_affine()
+        assert not dim(0).mod(2).is_pure_affine()
+
+    def test_substitute_dims(self):
+        expr = dim(0) + dim(1)
+        replaced = expr.substitute_dims({0: constant(5)})
+        assert replaced.evaluate((0, 2)) == 7
+
+    def test_linear_coefficients(self):
+        expr = dim(0) + 2 * dim(1) - 3 * dim(2) + 1
+        assert expr.linear_coefficients(3) == [1, 2, -3, 1]
+
+    def test_nonlinear_has_no_coefficients(self):
+        assert (dim(0) * dim(1)).linear_coefficients(2) is None
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(AffineError):
+            dim(-1)
+
+
+class TestMaps:
+    def test_identity(self):
+        map_ = AffineMap.identity(3)
+        assert map_.is_identity()
+        assert map_.evaluate((4, 5, 6)) == (4, 5, 6)
+
+    def test_permutation_map(self):
+        map_ = AffineMap.permutation([2, 0, 1])
+        assert map_.is_permutation()
+        assert map_.evaluate((10, 20, 30)) == (30, 10, 20)
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(AffineError):
+            AffineMap.permutation([0, 0, 1])
+
+    def test_projection(self):
+        map_ = AffineMap.projection(3, [0, 2])
+        assert map_.evaluate((1, 2, 3)) == (1, 3)
+        assert map_.is_projected_permutation()
+        assert not map_.is_permutation()
+
+    def test_map_dim_bound_checked(self):
+        with pytest.raises(AffineError):
+            AffineMap.get(1, 0, [dim(1)])
+
+    def test_access_matrix_from_paper_fig2(self):
+        # array[d0, d0 + 2*d1 - 3*d2, 1 - d1]  (Fig. 2 of the paper)
+        map_ = parse_affine_map(
+            "(d0, d1, d2) -> (d0, d0 + 2 * d1 - 3 * d2, 1 - d1)"
+        )
+        assert map_.access_matrix() == [
+            [1, 0, 0, 0],
+            [1, 2, -3, 0],
+            [0, -1, 0, 1],
+        ]
+
+    def test_access_matrix_nonlinear_raises(self):
+        map_ = AffineMap.get(2, 0, [dim(0) * dim(1)])
+        with pytest.raises(AffineError):
+            map_.access_matrix()
+
+    def test_permute_dims_matmul_example(self):
+        # A access (d0, d2) after making the innermost loop outermost:
+        # I(2,0,1) means new position 0 holds old loop 2.
+        map_ = parse_affine_map("(d0, d1, d2) -> (d0, d2)")
+        permuted = map_.permute_dims((2, 0, 1))
+        # old d2 -> new d0, old d0 -> new d1, old d1 -> new d2
+        assert str(permuted) == "(d0, d1, d2) -> (d1, d0)"
+
+    def test_dims_used(self):
+        map_ = parse_affine_map("(d0, d1, d2) -> (d0, d2)")
+        assert map_.dims_used() == {0, 2}
+
+    def test_compose_substitution(self):
+        map_ = AffineMap.get(2, 0, [dim(0) + dim(1)])
+        new = map_.compose_substitution({0: dim(0) * 4}, 2)
+        assert new.evaluate((2, 3)) == (11,)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        map_ = parse_affine_map("(d0, d1, d2) -> (d0, d2)")
+        assert map_.num_dims == 3
+        assert map_.num_results == 2
+
+    def test_parse_affine_map_wrapper(self):
+        map_ = parse_affine_map("affine_map<(d0, d1) -> (d1, d0)>")
+        assert map_.is_permutation()
+
+    def test_parse_arithmetic(self):
+        map_ = parse_affine_map("(d0, d1, d2) -> (d0 + 1, 3 * d2)")
+        assert map_.evaluate((1, 0, 2)) == (2, 6)
+
+    def test_parse_symbols(self):
+        map_ = parse_affine_map("(d0)[s0] -> (d0 + s0)")
+        assert map_.num_symbols == 1
+        assert map_.evaluate((4,), (10,)) == (14,)
+
+    def test_parse_floordiv_mod(self):
+        map_ = parse_affine_map("(d0) -> (d0 floordiv 4, d0 mod 4)")
+        assert map_.evaluate((11,)) == (2, 3)
+
+    def test_parse_parentheses(self):
+        map_ = parse_affine_map("(d0, d1) -> (2 * (d0 + d1))")
+        assert map_.evaluate((3, 4)) == (14,)
+
+    def test_parse_unknown_identifier_raises(self):
+        with pytest.raises(AffineError):
+            parse_affine_map("(d0) -> (bogus)")
+
+    def test_parse_unbalanced_raises(self):
+        with pytest.raises(AffineError):
+            parse_affine_map("(d0 -> (d0)")
+
+    def test_roundtrip_examples(self):
+        examples = [
+            "(d0, d1, d2) -> (d0, d2)",
+            "(d0, d1, d2) -> (d2, d1)",
+            "(d0, d1) -> (d0 + 1, 3 * d1)",
+            "(d0, d1, d2) -> (d0, d0 + 2 * d1 - 3 * d2, 1 - d1)",
+        ]
+        for text in examples:
+            assert str(parse_affine_map(text)) == text
+
+
+@st.composite
+def linear_maps(draw):
+    num_dims = draw(st.integers(min_value=1, max_value=4))
+    num_results = draw(st.integers(min_value=1, max_value=4))
+    results = []
+    for _ in range(num_results):
+        expr = constant(draw(st.integers(-4, 4)))
+        for position in range(num_dims):
+            coeff = draw(st.integers(-4, 4))
+            if coeff:
+                expr = expr + coeff * dim(position)
+        results.append(expr)
+    return AffineMap.get(num_dims, 0, results)
+
+
+class TestProperties:
+    @given(linear_maps())
+    def test_print_parse_roundtrip(self, map_):
+        assert parse_affine_map(str(map_)) == map_
+
+    @given(
+        linear_maps(),
+        st.lists(st.integers(-10, 10), min_size=4, max_size=4),
+    )
+    def test_access_matrix_agrees_with_evaluation(self, map_, point):
+        point = tuple(point[: map_.num_dims])
+        matrix = map_.access_matrix()
+        computed = tuple(
+            sum(c * p for c, p in zip(row[:-1], point)) + row[-1]
+            for row in matrix
+        )
+        assert computed == map_.evaluate(point)
+
+    @given(linear_maps(), st.permutations(range(4)))
+    def test_permute_preserves_values(self, map_, perm):
+        perm = tuple(p for p in perm if p < map_.num_dims)
+        if sorted(perm) != list(range(map_.num_dims)):
+            return
+        permuted = map_.permute_dims(perm)
+        point = tuple(range(2, 2 + map_.num_dims))
+        # permuted map evaluated at the permuted point gives the original
+        new_point = [0] * map_.num_dims
+        for new_position, old in enumerate(perm):
+            new_point[new_position] = point[old]
+        assert permuted.evaluate(tuple(new_point)) == map_.evaluate(point)

@@ -1,0 +1,153 @@
+"""Unit tests for the named-op builders."""
+
+import pytest
+
+from repro.ir import (
+    IRError,
+    IteratorType,
+    OpKind,
+    add,
+    batch_matmul,
+    conv_2d_nhwc_hwcf,
+    empty,
+    matmul,
+    mul,
+    pooling_nhwc_max,
+    relu,
+    sigmoid,
+    softmax_2d,
+    tensor,
+)
+
+_P = IteratorType.PARALLEL
+_R = IteratorType.REDUCTION
+
+
+class TestMatmul:
+    def test_maps(self):
+        op = matmul(tensor([2, 4]), tensor([4, 3]), tensor([2, 3]))
+        maps = [str(m) for m in op.indexing_maps]
+        assert maps == [
+            "(d0, d1, d2) -> (d0, d2)",
+            "(d0, d1, d2) -> (d2, d1)",
+            "(d0, d1, d2) -> (d0, d1)",
+        ]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(IRError):
+            matmul(tensor([2, 4]), tensor([5, 3]), tensor([2, 3]))
+
+    def test_output_mismatch(self):
+        with pytest.raises(IRError):
+            matmul(tensor([2, 4]), tensor([4, 3]), tensor([3, 3]))
+
+    def test_kind(self):
+        op = matmul(tensor([2, 2]), tensor([2, 2]), tensor([2, 2]))
+        assert op.kind is OpKind.MATMUL
+
+
+class TestBatchMatmul:
+    def test_bounds(self):
+        op = batch_matmul(
+            tensor([8, 16, 32]), tensor([8, 32, 24]), tensor([8, 16, 24])
+        )
+        assert op.loop_bounds() == [8, 16, 24, 32]
+        assert op.iterator_types == [_P, _P, _P, _R]
+
+    def test_mismatch(self):
+        with pytest.raises(IRError):
+            batch_matmul(
+                tensor([8, 16, 32]), tensor([4, 32, 24]), tensor([8, 16, 24])
+            )
+
+
+class TestConv2D:
+    def test_bounds_unit_stride(self):
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 8, 8, 4]), tensor([3, 3, 4, 16]), tensor([1, 6, 6, 16])
+        )
+        assert op.loop_bounds() == [1, 6, 6, 16, 3, 3, 4]
+
+    def test_iterators(self):
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 8, 8, 4]), tensor([3, 3, 4, 16]), tensor([1, 6, 6, 16])
+        )
+        assert op.iterator_types == [_P, _P, _P, _P, _R, _R, _R]
+
+    def test_strided(self):
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 9, 9, 4]),
+            tensor([3, 3, 4, 8]),
+            tensor([1, 4, 4, 8]),
+            strides=(2, 2),
+        )
+        assert op.loop_bounds()[:3] == [1, 4, 4]
+
+    def test_channel_mismatch(self):
+        with pytest.raises(IRError):
+            conv_2d_nhwc_hwcf(
+                tensor([1, 8, 8, 4]), tensor([3, 3, 5, 16]), tensor([1, 6, 6, 16])
+            )
+
+
+class TestPooling:
+    def test_bounds(self):
+        op = pooling_nhwc_max(
+            tensor([1, 8, 8, 4]), tensor([1, 4, 4, 4]), (2, 2), (2, 2)
+        )
+        assert op.loop_bounds() == [1, 4, 4, 4, 2, 2]
+
+    def test_window_operand_is_synthetic(self):
+        op = pooling_nhwc_max(
+            tensor([1, 8, 8, 4]), tensor([1, 4, 4, 4]), (2, 2), (2, 2)
+        )
+        assert op.inputs[1].synthetic
+        assert op.inputs[1].type.shape == (2, 2)
+
+    def test_kind(self):
+        op = pooling_nhwc_max(
+            tensor([1, 8, 8, 4]), tensor([1, 4, 4, 4]), (2, 2), (2, 2)
+        )
+        assert op.kind is OpKind.POOLING
+
+    def test_shape_mismatch(self):
+        with pytest.raises(IRError):
+            pooling_nhwc_max(
+                tensor([1, 8, 8, 4]), tensor([1, 3, 3, 4]), (2, 2), (2, 2)
+            )
+
+
+class TestElementwise:
+    def test_add_identity_maps(self):
+        op = add(tensor([4, 4]), tensor([4, 4]), tensor([4, 4]))
+        assert all(m.is_identity() for m in op.indexing_maps)
+        assert op.kind is OpKind.ADD
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(IRError):
+            add(tensor([4, 4]), tensor([4, 5]), tensor([4, 4]))
+
+    def test_relu_is_generic(self):
+        op = relu(tensor([4, 4]), tensor([4, 4]))
+        assert op.kind is OpKind.GENERIC
+        assert op.name == "linalg.generic"
+
+    def test_mul_elementwise(self):
+        op = mul(tensor([4]), tensor([4]), tensor([4]))
+        assert op.loop_bounds() == [4]
+
+    def test_sigmoid_counts(self):
+        from repro.ir.ops import ArithKind
+
+        op = sigmoid(tensor([4, 4]), tensor([4, 4]))
+        counts = op.body.arith_counts()
+        assert counts[ArithKind.EXP] == 1
+        assert counts[ArithKind.DIVF] == 1
+
+    def test_softmax_has_reduction(self):
+        op = softmax_2d(tensor([8, 16]), tensor([8, 16]))
+        assert op.reduction_dims() == [2]
+        assert op.loop_bounds() == [8, 16, 16]
+
+    def test_empty_is_synthetic(self):
+        assert empty([2, 2]).synthetic

@@ -1,0 +1,166 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    APPLICATIONS,
+    MODELS,
+    TABLE_II_DISTRIBUTION,
+    evaluation_suite,
+    op_composition,
+    random_sequence,
+    sample_operator,
+    sequence_suite,
+    site_contraction_nest,
+    training_dataset,
+    training_nests,
+    training_sampler,
+    training_suite,
+    wide_contraction_nest,
+)
+from repro.ir import IteratorType, OpKind
+
+
+class TestTableII:
+    def test_full_distribution_totals_1135(self):
+        assert sum(TABLE_II_DISTRIBUTION.values()) == 1135
+
+    def test_scaled_suite_keeps_proportions(self):
+        suite = training_suite(scale=0.1)
+        counts = {}
+        for func in suite:
+            kind = func.name.split("_")[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        assert counts["matmul"] == round(187 * 0.1)
+        assert counts["conv"] == round(278 * 0.1)
+
+    def test_samples_verify(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            func = sample_operator(rng)
+            func.verify_ssa()
+            assert len(func.body) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            sample_operator(np.random.default_rng(0), "fft")
+
+
+class TestSequences:
+    def test_length_five(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            func = random_sequence(rng)
+            assert len(func.body) == 5
+
+    def test_chain_structure(self):
+        rng = np.random.default_rng(1)
+        func = random_sequence(rng)
+        for prev, op in zip(func.body, func.body[1:]):
+            producers = func.producers_of(op)
+            assert prev in producers
+
+    def test_suite_is_reproducible(self):
+        first = sequence_suite(3, np.random.default_rng(5))
+        second = sequence_suite(3, np.random.default_rng(5))
+        from repro.ir import ModuleOp, print_module
+
+        for a, b in zip(first, second):
+            assert print_module(ModuleOp([a])) == print_module(ModuleOp([b]))
+
+
+class TestLqcd:
+    def test_site_nest_depth(self):
+        rng = np.random.default_rng(0)
+        for depth in (8, 10, 12):
+            _, op = site_contraction_nest(rng, lattice=8, depth=depth)
+            assert op.num_loops == depth
+
+    def test_site_nest_has_inner_reductions(self):
+        rng = np.random.default_rng(0)
+        _, op = site_contraction_nest(rng, lattice=8, depth=10)
+        reductions = op.reduction_dims()
+        assert reductions
+        assert max(reductions) == op.num_loops - 1
+
+    def test_wide_nest_width(self):
+        rng = np.random.default_rng(0)
+        _, op = wide_contraction_nest(rng, lattice=16, collapse_factor=2)
+        assert 2 * 16 * 16 in op.loop_bounds()
+
+    def test_applications_sizes(self):
+        names = [name for name, _, _ in APPLICATIONS]
+        assert names == [
+            "hexaquark-hexaquark",
+            "dibaryon-dibaryon",
+            "dibaryon-hexaquark",
+        ]
+        lattices = [s for _, s, _ in APPLICATIONS]
+        assert lattices == [12, 24, 32]
+
+    def test_hexaquark_is_deepest(self):
+        _, _, factory = APPLICATIONS[0]
+        func = factory()
+        depths = [op.num_loops for op in func.body]
+        assert max(depths) >= 11
+
+    def test_dibaryon_hexaquark_exceeds_action_space(self):
+        _, _, factory = APPLICATIONS[2]
+        func = factory()
+        assert any(op.num_loops > 12 for op in func.body)
+
+    def test_training_nests_verify(self):
+        for func in training_nests(10, np.random.default_rng(0)):
+            func.verify_ssa()
+
+
+class TestModels:
+    @pytest.mark.parametrize("name,factory", MODELS)
+    def test_models_verify(self, name, factory):
+        func = factory()
+        func.verify_ssa()
+        assert len(func.body) > 20
+
+    def test_resnet_composition(self):
+        composition = op_composition(
+            dict(MODELS)["ResNet-18"]()
+        )
+        assert composition["conv2d"] >= 20
+        assert composition["matmul"] == 1
+        assert composition["generic"] > composition["matmul"]
+
+    def test_vgg_has_13_convs(self):
+        composition = op_composition(dict(MODELS)["VGG"]())
+        assert composition["conv2d"] == 13
+
+    def test_mobilenet_generic_heavy(self):
+        composition = op_composition(dict(MODELS)["MobileNetV2"]())
+        assert composition["generic"] >= 40
+
+
+class TestRegistry:
+    def test_training_dataset_mix(self):
+        dataset = training_dataset(scale=0.01)
+        assert len(dataset) > 30
+
+    def test_sampler_returns_functions(self):
+        sampler = training_sampler(scale=0.01)
+        rng = np.random.default_rng(0)
+        func = sampler(rng)
+        assert func.body
+
+    def test_evaluation_suite_covers_all_operators(self):
+        operators = {case.operator for case in evaluation_suite()}
+        assert operators == {
+            "matmul",
+            "conv_2d",
+            "maxpooling",
+            "add",
+            "relu",
+        }
+
+    def test_evaluation_cases_build(self):
+        for case in evaluation_suite():
+            func = case.build()
+            func.verify_ssa()

@@ -1,0 +1,175 @@
+"""Tests for feature extraction (Fig. 1) and action history (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    ActionHistory,
+    feature_size,
+    op_features,
+    op_type_features,
+    small_config,
+    zero_features,
+)
+from repro.env.features import OP_TYPE_ORDER, loop_range_features
+from repro.ir import OpKind, add, matmul, pooling_nhwc_max, relu, tensor
+from repro.transforms import (
+    Interchange,
+    ScheduledOp,
+    TiledParallelization,
+    Tiling,
+    apply_interchange,
+    apply_tiling,
+)
+
+
+def _matmul_schedule(m=64, n=32, k=16):
+    return ScheduledOp(
+        matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+    )
+
+
+class TestOpTypeFeatures:
+    def test_matmul_one_hot(self):
+        op = matmul(tensor([4, 4]), tensor([4, 4]), tensor([4, 4]))
+        onehot = op_type_features(op)
+        assert onehot.sum() == 1.0
+        assert onehot[OP_TYPE_ORDER.index(OpKind.MATMUL)] == 1.0
+
+    def test_relu_is_generic(self):
+        op = relu(tensor([4, 4]), tensor([4, 4]))
+        onehot = op_type_features(op)
+        assert onehot[OP_TYPE_ORDER.index(OpKind.GENERIC)] == 1.0
+
+    def test_pooling(self):
+        op = pooling_nhwc_max(
+            tensor([1, 4, 4, 2]), tensor([1, 2, 2, 2]), (2, 2), (2, 2)
+        )
+        onehot = op_type_features(op)
+        assert onehot[OP_TYPE_ORDER.index(OpKind.POOLING)] == 1.0
+
+
+class TestLoopRangeFeatures:
+    def test_bounds_are_log_scaled(self):
+        config = small_config()
+        schedule = _matmul_schedule(1023, 1, 1)
+        features = loop_range_features(schedule, config)
+        n = config.max_loops
+        assert features[0] == pytest.approx(np.log2(1024) / 20.0)
+
+    def test_iterator_one_hot(self):
+        config = small_config()
+        schedule = _matmul_schedule()
+        features = loop_range_features(schedule, config)
+        n = config.max_loops
+        iterators = features[n:].reshape(n, 2)
+        assert iterators[0, 0] == 1.0  # parallel
+        assert iterators[2, 1] == 1.0  # reduction
+        assert iterators[4].sum() == 0.0  # padding
+
+    def test_reflects_interchange(self):
+        config = small_config()
+        schedule = _matmul_schedule(64, 32, 16)
+        apply_interchange(schedule, Interchange((2, 0, 1)))
+        features = loop_range_features(schedule, config)
+        assert features[0] == pytest.approx(np.log2(17) / 20.0)
+
+    def test_reflects_tiling(self):
+        config = small_config()
+        schedule = _matmul_schedule(64, 32, 16)
+        apply_tiling(schedule, Tiling((8, 0, 0)))
+        features = loop_range_features(schedule, config)
+        assert features[0] == pytest.approx(np.log2(9) / 20.0)
+
+
+class TestFullVector:
+    def test_size_matches_config(self):
+        config = small_config()
+        schedule = _matmul_schedule()
+        vec = op_features(schedule, ActionHistory(config), config)
+        assert vec.shape == (feature_size(config),)
+
+    def test_zero_features_size(self):
+        config = small_config()
+        assert zero_features(config).shape == (feature_size(config),)
+
+    def test_vector_is_finite_and_bounded(self):
+        config = small_config()
+        schedule = _matmul_schedule(4096, 4096, 4096)
+        vec = op_features(schedule, ActionHistory(config), config)
+        assert np.all(np.isfinite(vec))
+        assert np.abs(vec).max() <= 8.0
+
+    def test_history_changes_vector(self):
+        config = small_config()
+        schedule = _matmul_schedule()
+        empty_history = ActionHistory(config)
+        vec1 = op_features(schedule, empty_history, config)
+        history = ActionHistory(config)
+        history.record(Tiling((8, 8, 0)))
+        vec2 = op_features(schedule, history, config)
+        assert not np.array_equal(vec1, vec2)
+
+
+class TestActionHistory:
+    def test_tiling_recorded(self):
+        config = small_config()
+        history = ActionHistory(config)
+        history.record(Tiling((8, 0, 4)))
+        # tile_sizes = (0, 1, 4, 8, 16, 32): 8 -> index 3, 4 -> index 2
+        assert history.tiling[0, 0, 3] == 1.0
+        assert history.tiling[0, 2, 2] == 1.0
+        assert history.tiling[0, 1].sum() == 0.0
+        assert history.step == 1
+
+    def test_parallelization_separate_matrix(self):
+        config = small_config()
+        history = ActionHistory(config)
+        history.record(TiledParallelization((4, 0, 0)))
+        assert history.parallelization[0, 0, 2] == 1.0
+        assert history.tiling.sum() == 0.0
+
+    def test_interchange_recorded(self):
+        config = small_config()
+        history = ActionHistory(config)
+        history.record(Interchange((2, 0, 1)))
+        assert history.interchange[0, 0, 2] == 1.0
+        assert history.interchange[0, 1, 0] == 1.0
+        assert history.interchange[0, 2, 1] == 1.0
+
+    def test_partial_interchange_does_not_advance(self):
+        config = small_config()
+        history = ActionHistory(config)
+        history.record_partial_interchange(0, 2)
+        assert history.step == 0
+        assert history.interchange[0, 0, 2] == 1.0
+
+    def test_clamped_tile_maps_to_nearest_candidate(self):
+        config = small_config()
+        history = ActionHistory(config)
+        history.record(Tiling((6, 0, 0)))  # 6 is not a candidate; maps to 4
+        assert history.tiling[0, 0, 2] == 1.0
+
+    def test_clock_saturates(self):
+        config = small_config(max_schedule_length=2)
+        history = ActionHistory(config)
+        for _ in range(5):
+            history.record(Tiling((4, 0, 0)))
+        assert history.step == 2
+
+    def test_flatten_size(self):
+        config = small_config()
+        history = ActionHistory(config)
+        assert history.flatten().shape == (
+            ActionHistory.feature_size(config),
+        )
+
+    def test_terminal_actions_record_nothing(self):
+        from repro.transforms import NoTransformation, Vectorization
+
+        config = small_config()
+        history = ActionHistory(config)
+        history.record(Vectorization())
+        history.record(NoTransformation())
+        assert history.flatten().sum() == 0.0
+        assert history.step == 2

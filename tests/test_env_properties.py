@@ -1,0 +1,110 @@
+"""Property tests on the environment: mask-respecting random walks
+never crash, always terminate, and never leave the agent without a
+legal action."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.env import EnvAction, MlirRlEnv, small_config
+from repro.env.config import InterchangeMode
+from repro.transforms import TransformKind
+from repro.datasets import random_sequence, sample_operator
+
+
+def _random_legal_action(observation, rng, config):
+    """Sample a uniformly random action consistent with the masks."""
+    mask = observation.mask
+    legal = mask.legal_transformations()
+    kind = legal[int(rng.integers(len(legal)))]
+    if kind in (
+        TransformKind.TILING,
+        TransformKind.TILED_PARALLELIZATION,
+        TransformKind.TILED_FUSION,
+    ):
+        tile_mask = (
+            mask.tile_parallel
+            if kind is TransformKind.TILED_PARALLELIZATION
+            else mask.tile_tiling
+        )
+        indices = []
+        for row in tile_mask:
+            options = np.flatnonzero(row)
+            indices.append(int(options[rng.integers(len(options))]))
+        return EnvAction(kind, tile_indices=tuple(indices))
+    if kind is TransformKind.INTERCHANGE:
+        options = np.flatnonzero(mask.interchange)
+        choice = int(options[rng.integers(len(options))])
+        if config.interchange_mode is InterchangeMode.LEVEL_POINTERS:
+            return EnvAction(kind, pointer_loop=choice)
+        return EnvAction(kind, interchange_candidate=choice)
+    return EnvAction(kind)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_walk_on_operator_terminates(seed):
+    rng = np.random.default_rng(seed)
+    config = small_config()
+    env = MlirRlEnv(config=config)
+    observation = env.reset(sample_operator(rng))
+    for _ in range(300):
+        action = _random_legal_action(observation, rng, config)
+        result = env.step(action)
+        assert "illegal" not in result.info, result.info
+        if result.done:
+            assert result.info["speedup"] > 0
+            return
+        observation = result.observation
+        assert observation.mask.legal_transformations()
+    raise AssertionError("episode did not terminate within 300 steps")
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_walk_on_sequence_terminates(seed):
+    rng = np.random.default_rng(seed)
+    config = small_config()
+    env = MlirRlEnv(config=config)
+    observation = env.reset(random_sequence(rng))
+    for _ in range(600):
+        action = _random_legal_action(observation, rng, config)
+        result = env.step(action)
+        assert "illegal" not in result.info, result.info
+        if result.done:
+            return
+        observation = result.observation
+    raise AssertionError("episode did not terminate within 600 steps")
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_walk_enumerated_mode(seed):
+    rng = np.random.default_rng(seed)
+    config = small_config(interchange_mode=InterchangeMode.ENUMERATED)
+    env = MlirRlEnv(config=config)
+    observation = env.reset(sample_operator(rng))
+    for _ in range(300):
+        action = _random_legal_action(observation, rng, config)
+        result = env.step(action)
+        assert "illegal" not in result.info, result.info
+        if result.done:
+            return
+        observation = result.observation
+    raise AssertionError("episode did not terminate")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_masks_always_offer_an_action(seed):
+    """Every observation must leave at least the stop action legal."""
+    rng = np.random.default_rng(seed)
+    config = small_config()
+    env = MlirRlEnv(config=config)
+    observation = env.reset(sample_operator(rng))
+    for _ in range(100):
+        assert observation.mask.transformation.any()
+        action = _random_legal_action(observation, rng, config)
+        result = env.step(action)
+        if result.done:
+            return
+        observation = result.observation

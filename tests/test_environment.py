@@ -1,0 +1,233 @@
+"""Integration tests for the MLIR RL environment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    EnvAction,
+    MlirRlEnv,
+    RewardMode,
+    small_config,
+)
+from repro.env.config import InterchangeMode
+from repro.ir import FuncOp, add, empty, matmul, relu, tensor
+from repro.transforms import TransformKind, Tiling
+
+
+def _matmul_func(m=64, n=64, k=64):
+    a, b, c = tensor([m, k]), tensor([k, n]), tensor([m, n])
+    func = FuncOp("mm", [a, b, c])
+    op = func.append(matmul(a, b, c))
+    func.returns = [op.result()]
+    return func, op
+
+
+def _chain_func():
+    x, y = tensor([64, 64]), tensor([64, 64])
+    func = FuncOp("chain", [x, y])
+    first = func.append(add(x, y, empty([64, 64])))
+    second = func.append(relu(first.result(), empty([64, 64])))
+    func.returns = [second.result()]
+    return func, first, second
+
+
+class TestEpisodeFlow:
+    def test_reset_returns_observation(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func()
+        obs = env.reset(func)
+        assert obs.consumer.shape == obs.producer.shape
+        assert obs.producer.sum() == 0.0  # matmul has no producer
+
+    def test_reset_empty_function_raises(self):
+        env = MlirRlEnv(config=small_config())
+        with pytest.raises(ValueError):
+            env.reset(FuncOp("empty", []))
+
+    def test_step_before_reset_raises(self):
+        env = MlirRlEnv(config=small_config())
+        with pytest.raises(RuntimeError):
+            env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+
+    def test_stop_ends_single_op_episode(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func()
+        env.reset(func)
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert result.done
+        assert result.observation is None
+
+    def test_traversal_consumer_then_producer(self):
+        env = MlirRlEnv(config=small_config())
+        func, first, second = _chain_func()
+        env.reset(func)
+        assert env.current_op is second
+        env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert env.current_op is first
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert result.done
+
+    def test_producer_features_nonzero_in_chain(self):
+        env = MlirRlEnv(config=small_config())
+        func, *_ = _chain_func()
+        obs = env.reset(func)
+        assert obs.producer.sum() != 0.0
+
+    def test_schedule_budget_forces_advance(self):
+        config = small_config(max_schedule_length=2)
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        tile = EnvAction(
+            TransformKind.TILING, tile_indices=(2, 2, 0, 0, 0, 0)
+        )
+        r1 = env.step(tile)
+        assert not r1.done
+        r2 = env.step(tile)
+        assert r2.done  # budget of 2 exhausted on a single-op function
+
+    def test_vectorization_is_terminal_for_op(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func(8, 8, 8)
+        env.reset(func)
+        result = env.step(EnvAction(TransformKind.VECTORIZATION))
+        assert result.done
+
+    def test_all_zero_tiling_consumes_step(self):
+        config = small_config(max_schedule_length=1)
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        result = env.step(
+            EnvAction(TransformKind.TILING, tile_indices=(0,) * 6)
+        )
+        assert result.done  # budget 1 exhausted by the no-op
+
+
+class TestLevelPointers:
+    def test_full_pointer_sequence_applies_interchange(self):
+        config = small_config(
+            interchange_mode=InterchangeMode.LEVEL_POINTERS
+        )
+        env = MlirRlEnv(config=config)
+        func, op = _matmul_func()
+        env.reset(func)
+        for loop in (2, 0, 1):
+            result = env.step(
+                EnvAction(TransformKind.INTERCHANGE, pointer_loop=loop)
+            )
+            assert not result.done
+        schedule = env.scheduled.schedule_of(op)
+        assert schedule.order == [2, 0, 1]
+
+    def test_mask_forces_continuation(self):
+        config = small_config(
+            interchange_mode=InterchangeMode.LEVEL_POINTERS
+        )
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        result = env.step(
+            EnvAction(TransformKind.INTERCHANGE, pointer_loop=0)
+        )
+        assert result.observation.mask.forced_interchange
+        legal = result.observation.mask.legal_transformations()
+        assert legal == [TransformKind.INTERCHANGE]
+
+    def test_repeated_loop_is_illegal(self):
+        config = small_config(
+            interchange_mode=InterchangeMode.LEVEL_POINTERS
+        )
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=0))
+        result = env.step(
+            EnvAction(TransformKind.INTERCHANGE, pointer_loop=0)
+        )
+        assert result.info.get("illegal")
+        assert result.reward < 0
+
+
+class TestRewards:
+    def test_final_reward_is_log_speedup(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func()
+        env.reset(func)
+        env.step(
+            EnvAction(
+                TransformKind.TILED_PARALLELIZATION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        )
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert result.done
+        speedup = result.info["speedup"]
+        assert result.reward == pytest.approx(math.log(speedup))
+        assert speedup > 1.0
+
+    def test_intermediate_steps_reward_zero_in_final_mode(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func()
+        env.reset(func)
+        result = env.step(
+            EnvAction(TransformKind.TILING, tile_indices=(3, 3, 0, 0, 0, 0))
+        )
+        assert result.reward == 0.0
+
+    def test_immediate_rewards_telescope(self):
+        config = small_config(reward_mode=RewardMode.IMMEDIATE)
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        total = 0.0
+        total += env.step(
+            EnvAction(
+                TransformKind.TILED_PARALLELIZATION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        ).reward
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        total += result.reward
+        assert total == pytest.approx(math.log(result.info["speedup"]))
+
+    def test_immediate_mode_executes_every_step(self):
+        config = small_config(reward_mode=RewardMode.IMMEDIATE)
+        env = MlirRlEnv(config=config)
+        func, _ = _matmul_func()
+        env.reset(func)
+        r1 = env.step(
+            EnvAction(TransformKind.TILING, tile_indices=(3, 0, 0, 0, 0, 0))
+        )
+        r2 = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert r2.info["executions"] > r1.info["executions"] >= 2
+
+
+class TestFusionThroughEnv:
+    def test_fusion_action(self):
+        env = MlirRlEnv(config=small_config())
+        func, first, second = _chain_func()
+        env.reset(func)
+        result = env.step(
+            EnvAction(
+                TransformKind.TILED_FUSION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        )
+        assert "error" not in result.info
+        assert env.scheduled.schedule_of(first).fused_into is not None
+
+    def test_fused_chain_single_nest(self):
+        env = MlirRlEnv(config=small_config())
+        func, first, second = _chain_func()
+        env.reset(func)
+        env.step(
+            EnvAction(
+                TransformKind.TILED_FUSION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        )
+        nests = env.scheduled.lower()
+        assert len(nests) == 1

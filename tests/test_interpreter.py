@@ -1,0 +1,203 @@
+"""Semantic-correctness tests: the interpreter as transformation oracle.
+
+Reference execution of a linalg op must agree with (a) numpy's own
+semantics for the named ops and (b) execution of the *scheduled* op in
+its transformed loop order — for every transformation the action space
+exposes.  This is the correctness property MLIR guarantees by
+construction and the machine model assumes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import add, conv_2d_nhwc_hwcf, matmul, pooling_nhwc_max, relu, tensor
+from repro.ir.interpreter import (
+    evaluate_body,
+    evaluate_op,
+    evaluate_scheduled_op,
+    random_operands,
+)
+from repro.transforms import (
+    Interchange,
+    ScheduledOp,
+    TiledParallelization,
+    Tiling,
+    Vectorization,
+    apply_interchange,
+    apply_tiled_parallelization,
+    apply_tiling,
+    apply_vectorization,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestReferenceSemantics:
+    def test_matmul_matches_numpy(self):
+        op = matmul(tensor([4, 6]), tensor([6, 5]), tensor([4, 5]))
+        a = RNG.normal(size=(4, 6))
+        b = RNG.normal(size=(6, 5))
+        c = np.zeros((4, 5))
+        (result,) = evaluate_op(op, [a, b, c])
+        assert np.allclose(result, a @ b)
+
+    def test_matmul_accumulates_into_init(self):
+        op = matmul(tensor([2, 2]), tensor([2, 2]), tensor([2, 2]))
+        a = np.eye(2)
+        b = np.eye(2)
+        init = np.full((2, 2), 10.0)
+        (result,) = evaluate_op(op, [a, b, init])
+        assert np.allclose(result, init + np.eye(2))
+
+    def test_add_matches_numpy(self):
+        op = add(tensor([3, 3]), tensor([3, 3]), tensor([3, 3]))
+        x = RNG.normal(size=(3, 3))
+        y = RNG.normal(size=(3, 3))
+        (result,) = evaluate_op(op, [x, y, np.zeros((3, 3))])
+        assert np.allclose(result, x + y)
+
+    def test_relu_matches_numpy(self):
+        op = relu(tensor([4, 4]), tensor([4, 4]))
+        x = RNG.normal(size=(4, 4))
+        (result,) = evaluate_op(op, [x, np.zeros((4, 4))])
+        assert np.allclose(result, np.maximum(x, 0))
+
+    def test_pooling_matches_numpy(self):
+        op = pooling_nhwc_max(
+            tensor([1, 4, 4, 2]), tensor([1, 2, 2, 2]), (2, 2), (2, 2)
+        )
+        image = RNG.normal(size=(1, 4, 4, 2))
+        window = np.zeros((2, 2))
+        init = np.full((1, 2, 2, 2), -1e30)
+        (result,) = evaluate_op(op, [image, window, init])
+        expected = image.reshape(1, 2, 2, 2, 2, 2).max(axis=(2, 4))
+        assert np.allclose(result, expected)
+
+    def test_conv_matches_direct_computation(self):
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 4, 4, 2]), tensor([2, 2, 2, 3]), tensor([1, 3, 3, 3])
+        )
+        image = RNG.normal(size=(1, 4, 4, 2))
+        kernel = RNG.normal(size=(2, 2, 2, 3))
+        (result,) = evaluate_op(op, [image, kernel, np.zeros((1, 3, 3, 3))])
+        expected = np.zeros((1, 3, 3, 3))
+        for oh in range(3):
+            for ow in range(3):
+                patch = image[0, oh : oh + 2, ow : ow + 2, :]
+                expected[0, oh, ow, :] = np.einsum(
+                    "hwc,hwcf->f", patch, kernel
+                )
+        assert np.allclose(result, expected)
+
+    def test_shape_mismatch_rejected(self):
+        op = matmul(tensor([2, 2]), tensor([2, 2]), tensor([2, 2]))
+        with pytest.raises(Exception):
+            evaluate_op(op, [np.zeros((3, 3))] * 3)
+
+    def test_body_evaluation(self):
+        from repro.ir import ArithKind, body_from_ops
+
+        body = body_from_ops(
+            3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+        )
+        assert evaluate_body(body, [3.0, 4.0, 10.0]) == 22.0
+
+
+def _scheduled_matches_reference(op, schedule_fn, seed=0):
+    rng = np.random.default_rng(seed)
+    operands = random_operands(op, rng)
+    (reference,) = evaluate_op(op, operands)
+    schedule = ScheduledOp(op)
+    schedule_fn(schedule)
+    (scheduled,) = evaluate_scheduled_op(schedule, operands)
+    np.testing.assert_allclose(scheduled, reference, rtol=1e-9, atol=1e-9)
+
+
+class TestTransformationsPreserveSemantics:
+    def test_tiling_divisible(self):
+        op = matmul(tensor([8, 8]), tensor([8, 8]), tensor([8, 8]))
+        _scheduled_matches_reference(
+            op, lambda s: apply_tiling(s, Tiling((4, 4, 0)))
+        )
+
+    def test_tiling_non_divisible_boundary(self):
+        op = matmul(tensor([7, 5]), tensor([5, 6]), tensor([7, 6]))
+        _scheduled_matches_reference(
+            op, lambda s: apply_tiling(s, Tiling((4, 4, 4)))
+        )
+
+    def test_double_tiling(self):
+        op = matmul(tensor([16, 16]), tensor([16, 16]), tensor([16, 16]))
+
+        def schedule(s):
+            apply_tiling(s, Tiling((8, 8, 0)))
+            apply_tiling(s, Tiling((4, 4, 4)))
+
+        _scheduled_matches_reference(op, schedule)
+
+    def test_interchange(self):
+        op = matmul(tensor([6, 7]), tensor([7, 5]), tensor([6, 5]))
+        _scheduled_matches_reference(
+            op, lambda s: apply_interchange(s, Interchange((2, 0, 1)))
+        )
+
+    def test_tiled_parallelization(self):
+        op = matmul(tensor([8, 8]), tensor([8, 8]), tensor([8, 8]))
+        _scheduled_matches_reference(
+            op,
+            lambda s: apply_tiled_parallelization(
+                s, TiledParallelization((4, 4, 0))
+            ),
+        )
+
+    def test_full_pipeline(self):
+        op = matmul(tensor([8, 12]), tensor([12, 8]), tensor([8, 8]))
+
+        def schedule(s):
+            apply_tiled_parallelization(s, TiledParallelization((4, 4, 0)))
+            apply_interchange(s, Interchange((0, 2, 1)))
+            apply_vectorization(s, Vectorization())
+
+        _scheduled_matches_reference(op, schedule)
+
+    def test_elementwise_tiling(self):
+        op = add(tensor([9, 9]), tensor([9, 9]), tensor([9, 9]))
+        _scheduled_matches_reference(
+            op, lambda s: apply_tiling(s, Tiling((4, 2)))
+        )
+
+    def test_pooling_tiling(self):
+        op = pooling_nhwc_max(
+            tensor([1, 6, 6, 2]), tensor([1, 3, 3, 2]), (2, 2), (2, 2)
+        )
+        _scheduled_matches_reference(
+            op, lambda s: apply_tiling(s, Tiling((0, 2, 2, 0, 0, 0)))
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(2, 9),
+    n=st.integers(2, 9),
+    k=st.integers(2, 9),
+    t0=st.sampled_from([0, 2, 3, 4]),
+    t1=st.sampled_from([0, 2, 3, 4]),
+    t2=st.sampled_from([0, 2, 3, 4]),
+    perm=st.permutations([0, 1, 2]),
+    seed=st.integers(0, 100),
+)
+def test_property_random_schedule_preserves_matmul(
+    m, n, k, t0, t1, t2, perm, seed
+):
+    """Any tiling x interchange combination computes the same matmul."""
+    op = matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+    rng = np.random.default_rng(seed)
+    operands = random_operands(op, rng)
+    (reference,) = evaluate_op(op, operands)
+    schedule = ScheduledOp(op)
+    if any((t0, t1, t2)):
+        apply_tiling(schedule, Tiling((t0, t1, t2)))
+    apply_interchange(schedule, Interchange(tuple(perm)))
+    (result,) = evaluate_scheduled_op(schedule, operands)
+    np.testing.assert_allclose(result, reference, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the scf-style lowered-nest printer."""
+
+from repro.ir import FuncOp, add, empty, matmul, relu, tensor
+from repro.transforms import (
+    Interchange,
+    ScheduledFunction,
+    ScheduledOp,
+    TiledFusion,
+    TiledParallelization,
+    Vectorization,
+    lower_baseline,
+    lower_scheduled_op,
+)
+from repro.transforms.loop_printer import print_nest, print_nests
+
+
+def _matmul_op(m=64, n=32, k=16):
+    return matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+
+
+class TestPrintNest:
+    def test_baseline_loops(self):
+        text = print_nest(lower_baseline(_matmul_op()))
+        assert text.count("scf.for ") == 3
+        assert "scf.forall" not in text
+        assert "= 0 to 64 step 1" in text
+
+    def test_parallel_band_prints_forall(self):
+        schedule = ScheduledOp(_matmul_op())
+        from repro.transforms import apply_tiled_parallelization
+
+        apply_tiled_parallelization(
+            schedule, TiledParallelization((8, 8, 0))
+        )
+        text = print_nest(lower_scheduled_op(schedule))
+        assert text.count("scf.forall") == 2
+        assert "step 8" in text
+
+    def test_vector_marker(self):
+        schedule = ScheduledOp(_matmul_op(8, 8, 8))
+        from repro.transforms import apply_vectorization
+
+        apply_vectorization(schedule, Vectorization())
+        text = print_nest(lower_scheduled_op(schedule))
+        assert "// vectorized" in text
+
+    def test_interchange_reorders_headers(self):
+        schedule = ScheduledOp(_matmul_op())
+        from repro.transforms import apply_interchange
+
+        apply_interchange(schedule, Interchange((2, 0, 1)))
+        text = print_nest(lower_scheduled_op(schedule))
+        first_loop = text.splitlines()[1]
+        assert "to 16" in first_loop  # k (extent 16) now outermost
+
+    def test_accesses_rendered(self):
+        text = print_nest(lower_baseline(_matmul_op(4, 5, 6)))
+        assert "memref.load" in text
+        assert "memref.store" in text
+        assert "<4x6>" in text and "<6x5>" in text and "<4x5>" in text
+
+    def test_fused_producer_nested(self):
+        x, y = tensor([64, 64]), tensor([64, 64])
+        func = FuncOp("chain", [x, y])
+        first = func.append(add(x, y, empty([64, 64])))
+        second = func.append(relu(first.result(), empty([64, 64])))
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((8, 8)))
+        text = print_nests(scheduled.lower())
+        assert "fused producer" in text
+        assert "recompute x1" in text
+
+    def test_braces_balance(self):
+        schedule = ScheduledOp(_matmul_op())
+        from repro.transforms import apply_tiled_parallelization
+
+        apply_tiled_parallelization(
+            schedule, TiledParallelization((8, 8, 0))
+        )
+        text = print_nest(lower_scheduled_op(schedule))
+        assert text.count("{") == text.count("}")

@@ -1,0 +1,128 @@
+"""Edge-case and API tests for the machine substrate."""
+
+import math
+
+import pytest
+
+from repro.env.reward import RewardModel, RewardState
+from repro.env.config import RewardMode
+from repro.ir import FuncOp, ModuleOp, add, matmul, tensor
+from repro.machine import (
+    Executor,
+    TimingBreakdown,
+    XEON_E5_2680_V4,
+    laptop_spec,
+)
+from repro.transforms import ScheduledFunction, TiledParallelization
+
+
+def _matmul_func(m=64, n=64, k=64):
+    a, b, c = tensor([m, k]), tensor([k, n]), tensor([m, n])
+    func = FuncOp("mm", [a, b, c])
+    op = func.append(matmul(a, b, c))
+    return func, op
+
+
+class TestSpec:
+    def test_vector_lanes(self):
+        assert XEON_E5_2680_V4.vector_lanes(4) == 8   # f32 on AVX2
+        assert XEON_E5_2680_V4.vector_lanes(8) == 4   # f64
+
+    def test_peak_flops(self):
+        # 28 cores x 2.4 GHz x 2 FMA ports x 8 lanes x 2 flops
+        assert XEON_E5_2680_V4.peak_flops(28) == pytest.approx(2.1504e12)
+
+    def test_dram_bandwidth_saturates(self):
+        spec = XEON_E5_2680_V4
+        assert spec.dram_bandwidth(1) == pytest.approx(1.2e10)
+        assert spec.dram_bandwidth(28) == pytest.approx(spec.dram_bandwidth_cap)
+
+    def test_cache_lookup(self):
+        assert XEON_E5_2680_V4.cache("L2").capacity == 256 * 1024
+        with pytest.raises(KeyError):
+            XEON_E5_2680_V4.cache("L9")
+
+    def test_laptop_spec_is_smaller(self):
+        laptop = laptop_spec()
+        assert laptop.cores < XEON_E5_2680_V4.cores
+
+
+class TestExecutorApi:
+    def test_module_baseline_sums_functions(self):
+        func1, _ = _matmul_func()
+        func2, _ = _matmul_func(32, 32, 32)
+        func2.name = "mm2"
+        executor = Executor()
+        total = executor.run_module_baseline(ModuleOp([func1, func2]))
+        separate = (
+            executor.run_baseline(func1).seconds
+            + executor.run_baseline(func2).seconds
+        )
+        assert total.seconds == pytest.approx(separate)
+
+    def test_speedup_helper(self):
+        func, op = _matmul_func(128, 128, 128)
+        executor = Executor()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, TiledParallelization((8, 8, 0)))
+        assert executor.speedup(scheduled) > 1.0
+
+    def test_more_cores_never_slower(self):
+        """Scaling property: the same parallel schedule on a machine
+        with more cores must not take longer."""
+        func, op = _matmul_func(256, 256, 256)
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, TiledParallelization((8, 8, 0)))
+        small = Executor(laptop_spec()).run_scheduled(scheduled).seconds
+        # laptop has higher frequency; compare against a laptop clone
+        # with more cores instead of the Xeon to isolate core count.
+        from dataclasses import replace
+
+        bigger = replace(laptop_spec(), cores=16)
+        big = Executor(bigger).run_scheduled(scheduled).seconds
+        assert big <= small * 1.01
+
+    def test_speedup_result_api(self):
+        func, _ = _matmul_func()
+        executor = Executor()
+        first = executor.run_baseline(func)
+        assert first.speedup_over(first) == pytest.approx(1.0)
+
+    def test_breakdown_addition(self):
+        a = TimingBreakdown(1.0, 0.5, 0.3, 0.2, 4)
+        b = TimingBreakdown(2.0, 1.0, 0.8, 0.2, 8)
+        total = a + b
+        assert total.total == pytest.approx(3.0)
+        assert total.cores == 8
+
+
+class TestRewardModel:
+    def _setup(self, mode):
+        func, op = _matmul_func()
+        executor = Executor()
+        model = RewardModel(executor, mode)
+        scheduled = ScheduledFunction(func)
+        state = model.start_episode(scheduled)
+        return model, scheduled, state, op
+
+    def test_final_mode_zero_until_done(self):
+        model, scheduled, state, op = self._setup(RewardMode.FINAL)
+        assert model.step_reward(state, scheduled, done=False) == 0.0
+        assert state.executions == 1  # only the baseline run
+
+    def test_final_mode_terminal_log_speedup(self):
+        model, scheduled, state, op = self._setup(RewardMode.FINAL)
+        scheduled.apply(op, TiledParallelization((8, 8, 0)))
+        reward = model.step_reward(state, scheduled, done=True)
+        assert reward == pytest.approx(math.log(model.speedup(state)))
+
+    def test_immediate_mode_counts_executions(self):
+        model, scheduled, state, op = self._setup(RewardMode.IMMEDIATE)
+        model.step_reward(state, scheduled, done=False)
+        model.step_reward(state, scheduled, done=False)
+        assert state.executions == 3  # baseline + two steps
+
+    def test_unchanged_schedule_zero_immediate_reward(self):
+        model, scheduled, state, op = self._setup(RewardMode.IMMEDIATE)
+        reward = model.step_reward(state, scheduled, done=False)
+        assert reward == pytest.approx(0.0)

@@ -1,0 +1,156 @@
+"""Unit tests for core IR objects: values, bodies, linalg ops, functions."""
+
+import pytest
+
+from repro.ir import (
+    ArithKind,
+    FuncOp,
+    IRError,
+    IteratorType,
+    ModuleOp,
+    add,
+    body_from_ops,
+    empty,
+    matmul,
+    relu,
+    tensor,
+)
+from repro.ir.ops import Body, BodyArg, BodyConst, BodyOp
+
+
+class TestBody:
+    def test_mac_counts(self):
+        body = body_from_ops(
+            3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+        )
+        counts = body.arith_counts()
+        assert counts[ArithKind.MULF] == 1
+        assert counts[ArithKind.ADDF] == 1
+
+    def test_flops_per_point_mac(self):
+        body = body_from_ops(
+            3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+        )
+        assert body.flops_per_point() == 2
+
+    def test_flops_exp_weighted(self):
+        body = body_from_ops(2, [(ArithKind.EXP, (0,))])
+        assert body.flops_per_point() == 8
+
+    def test_cmp_select_free(self):
+        body = body_from_ops(
+            2,
+            [(ArithKind.CMPF, (0, 1)), (ArithKind.SELECT, (2, 0, 1))],
+        )
+        assert body.flops_per_point() == 0
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(IRError):
+            Body(
+                leaves=(BodyArg(0),),
+                ops=(BodyOp(ArithKind.ADDF, (0, 5)),),
+                yield_index=1,
+            )
+
+    def test_yield_out_of_range_rejected(self):
+        with pytest.raises(IRError):
+            Body(leaves=(BodyArg(0),), ops=(), yield_index=3)
+
+    def test_fma_fusion_in_uops(self):
+        mac = body_from_ops(
+            3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+        )
+        assert mac.arith_uops_per_point() == 1.0
+
+    def test_div_uops_expensive(self):
+        body = body_from_ops(3, [(ArithKind.DIVF, (0, 1))])
+        assert body.arith_uops_per_point() == 8.0
+
+
+class TestLinalgOp:
+    def test_matmul_bounds(self):
+        op = matmul(tensor([256, 1024]), tensor([1024, 512]), tensor([256, 512]))
+        assert op.loop_bounds() == [256, 512, 1024]
+
+    def test_matmul_iterators(self):
+        op = matmul(tensor([8, 8]), tensor([8, 8]), tensor([8, 8]))
+        assert op.iterator_types == [
+            IteratorType.PARALLEL,
+            IteratorType.PARALLEL,
+            IteratorType.REDUCTION,
+        ]
+        assert op.reduction_dims() == [2]
+        assert op.parallel_dims() == [0, 1]
+
+    def test_operand_map_count_checked(self):
+        op = matmul(tensor([4, 4]), tensor([4, 4]), tensor([4, 4]))
+        with pytest.raises(IRError):
+            type(op)(
+                name="bad",
+                kind=op.kind,
+                inputs=op.inputs,
+                outputs=op.outputs,
+                indexing_maps=op.indexing_maps[:2],
+                iterator_types=op.iterator_types,
+                body=op.body,
+            )
+
+    def test_result_type_matches_output(self):
+        op = matmul(tensor([4, 8]), tensor([8, 2]), tensor([4, 2]))
+        assert op.result().type.shape == (4, 2)
+        assert op.result().defining_op is op
+
+
+class TestFuncOp:
+    def _chain(self):
+        x, y = tensor([16, 16]), tensor([16, 16])
+        first = add(x, y, empty([16, 16]))
+        second = relu(first.result(), empty([16, 16]))
+        func = FuncOp("chain", [x, y])
+        func.append(first)
+        func.append(second)
+        func.returns = [second.result()]
+        return func, first, second
+
+    def test_verify_ssa_accepts_chain(self):
+        func, *_ = self._chain()
+        func.verify_ssa()
+
+    def test_verify_ssa_rejects_undefined(self):
+        func, first, second = self._chain()
+        func.body.reverse()  # relu now uses add's result before its def
+        with pytest.raises(IRError):
+            func.verify_ssa()
+
+    def test_producers_of(self):
+        func, first, second = self._chain()
+        assert func.producers_of(second) == [first]
+        assert func.producers_of(first) == []
+
+    def test_consumers_of(self):
+        func, first, second = self._chain()
+        assert func.consumers_of(first) == [second]
+
+    def test_last_producer(self):
+        func, first, second = self._chain()
+        assert func.last_producer(second) is first
+        assert func.last_producer(first) is None
+
+    def test_walk_consumers_first(self):
+        func, first, second = self._chain()
+        assert list(func.walk_consumers_first()) == [second, first]
+
+    def test_module_verify_duplicate_names(self):
+        func, *_ = self._chain()
+        func2, *_ = self._chain()
+        func2.name = "chain"
+        module = ModuleOp([func, func2])
+        with pytest.raises(IRError):
+            module.verify()
+
+    def test_module_function_lookup(self):
+        func, *_ = self._chain()
+        module = ModuleOp([func])
+        assert module.function("chain") is func
+        with pytest.raises(IRError):
+            module.function("missing")

@@ -1,0 +1,194 @@
+"""Round-trip tests for the textual printer and parser."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    FuncOp,
+    ModuleOp,
+    ParseError,
+    add,
+    conv_2d_nhwc_hwcf,
+    empty,
+    matmul,
+    parse_module,
+    pooling_nhwc_max,
+    print_module,
+    relu,
+    sigmoid,
+    softmax_2d,
+    tensor,
+)
+
+
+def _module_with(ops_builder):
+    func = ops_builder()
+    module = ModuleOp([func])
+    module.verify()
+    return module
+
+
+def _roundtrip(module):
+    text = print_module(module)
+    parsed = parse_module(text)
+    assert print_module(parsed) == text
+    return parsed
+
+
+class TestRoundTrips:
+    def test_matmul(self):
+        def build():
+            a, b, c = tensor([8, 16]), tensor([16, 4]), tensor([8, 4])
+            func = FuncOp("mm", [a, b, c])
+            op = func.append(matmul(a, b, c))
+            func.returns = [op.result()]
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        op = parsed.functions[0].body[0]
+        assert op.name == "linalg.matmul"
+        assert op.loop_bounds() == [8, 4, 16]
+
+    def test_conv(self):
+        def build():
+            i = tensor([1, 8, 8, 4])
+            k = tensor([3, 3, 4, 8])
+            o = tensor([1, 6, 6, 8])
+            func = FuncOp("conv", [i, k, o])
+            func.append(conv_2d_nhwc_hwcf(i, k, o))
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        assert parsed.functions[0].body[0].loop_bounds() == [1, 6, 6, 8, 3, 3, 4]
+
+    def test_pooling_with_synthetic_window(self):
+        def build():
+            i, o = tensor([1, 8, 8, 4]), tensor([1, 4, 4, 4])
+            func = FuncOp("pool", [i, o])
+            func.append(pooling_nhwc_max(i, o, (2, 2), (2, 2)))
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        op = parsed.functions[0].body[0]
+        assert op.inputs[1].synthetic
+
+    def test_chain_with_empty_inits(self):
+        def build():
+            x, y = tensor([8, 8]), tensor([8, 8])
+            func = FuncOp("chain", [x, y])
+            first = func.append(add(x, y, empty([8, 8])))
+            second = func.append(relu(first.result(), empty([8, 8])))
+            func.returns = [second.result()]
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        func = parsed.functions[0]
+        assert func.producers_of(func.body[1]) == [func.body[0]]
+
+    def test_sigmoid_constants(self):
+        def build():
+            x = tensor([4, 4])
+            func = FuncOp("sig", [x])
+            op = func.append(sigmoid(x, empty([4, 4])))
+            func.returns = [op.result()]
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        body = parsed.functions[0].body[0].body
+        from repro.ir.ops import BodyConst
+
+        constants = [l for l in body.leaves if isinstance(l, BodyConst)]
+        assert sorted(c.value for c in constants) == [0.0, 1.0]
+
+    def test_softmax(self):
+        def build():
+            x = tensor([8, 16])
+            func = FuncOp("sm", [x])
+            op = func.append(softmax_2d(x, empty([8, 16])))
+            func.returns = [op.result()]
+            return func
+
+        parsed = _roundtrip(_module_with(build))
+        assert parsed.functions[0].body[0].reduction_dims() == [2]
+
+    def test_multi_function_module(self):
+        def build(name):
+            x = tensor([4, 4])
+            func = FuncOp(name, [x])
+            op = func.append(relu(x, empty([4, 4])))
+            func.returns = [op.result()]
+            return func
+
+        module = ModuleOp([build("f"), build("g")])
+        module.verify()
+        _roundtrip(module)
+
+
+class TestParseErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("this is not MLIR")
+
+    def test_undefined_value_rejected(self):
+        text = """module {
+  func.func @f(%arg0: tensor<4x4xf32>) {
+    %0 = linalg.generic {
+      indexing_maps = [
+        affine_map<(d0, d1) -> (d0, d1)>,
+        affine_map<(d0, d1) -> (d0, d1)>
+      ],
+      iterator_types = ["parallel", "parallel"],
+      library_call = "linalg.generic#generic"
+    } ins(%bogus : tensor<4x4xf32>) outs(%arg0 : tensor<4x4xf32>) {
+    ^bb0(%in0: f32, %in1: f32):
+      %b0 = arith.addf %in0, %in0 : f32
+      linalg.yield %b0 : f32
+    } -> tensor<4x4xf32>
+    return
+  }
+}"""
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_operand_type_mismatch_rejected(self):
+        text = """module {
+  func.func @f(%arg0: tensor<4x4xf32>) {
+    %0 = linalg.generic {
+      indexing_maps = [
+        affine_map<(d0, d1) -> (d0, d1)>,
+        affine_map<(d0, d1) -> (d0, d1)>
+      ],
+      iterator_types = ["parallel", "parallel"],
+      library_call = "linalg.generic#generic"
+    } ins(%arg0 : tensor<8x8xf32>) outs(%arg0 : tensor<4x4xf32>) {
+    ^bb0(%in0: f32, %in1: f32):
+      %b0 = arith.addf %in0, %in0 : f32
+      linalg.yield %b0 : f32
+    } -> tensor<4x4xf32>
+    return
+  }
+}"""
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("")
+
+
+class TestRandomizedRoundTrips:
+    def test_random_sequences_roundtrip(self):
+        from repro.datasets import sequence_suite
+
+        for func in sequence_suite(5, np.random.default_rng(11)):
+            module = ModuleOp([func])
+            text = print_module(module)
+            assert print_module(parse_module(text)) == text
+
+    def test_lqcd_nests_roundtrip(self):
+        from repro.datasets import training_nests
+
+        for func in training_nests(5, np.random.default_rng(12)):
+            module = ModuleOp([func])
+            text = print_module(module)
+            assert print_module(parse_module(text)) == text

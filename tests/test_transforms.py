@@ -1,0 +1,313 @@
+"""Unit tests for the five transformations and schedule state."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import add, matmul, pooling_nhwc_max, relu, tensor, empty, FuncOp
+from repro.transforms import (
+    Interchange,
+    NoTransformation,
+    ScheduledFunction,
+    ScheduledOp,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    TransformError,
+    Vectorization,
+    apply_interchange,
+    apply_tiled_parallelization,
+    apply_tiling,
+    apply_vectorization,
+    can_vectorize,
+    enumerated_candidates,
+    swap_candidate_count,
+    vectorization_precondition,
+    MAX_VECTOR_INNER_TRIP,
+)
+
+
+def _matmul_schedule(m=256, n=512, k=1024):
+    op = matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+    return ScheduledOp(op)
+
+
+class TestTiling:
+    def test_extents_shrink_to_tile(self):
+        schedule = _matmul_schedule()
+        apply_tiling(schedule, Tiling((8, 8, 0)))
+        assert schedule.extents == [8, 8, 1024]
+
+    def test_band_trips(self):
+        schedule = _matmul_schedule()
+        apply_tiling(schedule, Tiling((8, 8, 0)))
+        band = schedule.bands[0]
+        assert [(l.dim, l.trip, l.tile) for l in band.loops] == [
+            (0, 32, 8),
+            (1, 64, 8),
+        ]
+
+    def test_tile_clamped_to_extent(self):
+        schedule = _matmul_schedule(m=6)
+        apply_tiling(schedule, Tiling((8, 0, 0)))
+        assert schedule.extents[0] == 6
+        assert schedule.bands[0].loops[0].trip == 1
+
+    def test_non_divisible_rounds_up(self):
+        schedule = _matmul_schedule(m=100)
+        apply_tiling(schedule, Tiling((8, 0, 0)))
+        assert schedule.bands[0].loops[0].trip == 13  # ceil(100/8)
+
+    def test_all_zero_rejected(self):
+        schedule = _matmul_schedule()
+        with pytest.raises(TransformError):
+            apply_tiling(schedule, Tiling((0, 0, 0)))
+
+    def test_wrong_arity_rejected(self):
+        schedule = _matmul_schedule()
+        with pytest.raises(TransformError):
+            apply_tiling(schedule, Tiling((8, 8)))
+
+    def test_second_tiling_composes(self):
+        schedule = _matmul_schedule()
+        apply_tiling(schedule, Tiling((64, 64, 0)))
+        apply_tiling(schedule, Tiling((8, 8, 0)))
+        assert schedule.extents[:2] == [8, 8]
+        assert schedule.tile_trip(0) == 4 * 8  # 256/64 then 64/8
+
+    def test_total_points_accounts_rounding(self):
+        schedule = _matmul_schedule(m=100, n=8, k=8)
+        apply_tiling(schedule, Tiling((8, 0, 0)))
+        # 13 tiles x 8 points = 104 > 100 original
+        assert schedule.total_points() == 13 * 8 * 8 * 8
+
+    def test_after_vectorization_rejected(self):
+        schedule = _matmul_schedule(m=8, n=8, k=8)
+        apply_vectorization(schedule, Vectorization())
+        with pytest.raises(TransformError):
+            apply_tiling(schedule, Tiling((2, 0, 0)))
+
+
+class TestTiledParallelization:
+    def test_parallel_band_flag(self):
+        schedule = _matmul_schedule()
+        apply_tiled_parallelization(schedule, TiledParallelization((8, 8, 0)))
+        assert schedule.bands[0].parallel
+        assert all(l.parallel for l in schedule.bands[0].loops)
+
+    def test_reduction_dim_rejected(self):
+        schedule = _matmul_schedule()
+        with pytest.raises(TransformError):
+            apply_tiled_parallelization(
+                schedule, TiledParallelization((0, 0, 8))
+            )
+
+    def test_tile_size_one_parallelizes_without_blocking(self):
+        schedule = _matmul_schedule()
+        apply_tiled_parallelization(schedule, TiledParallelization((1, 1, 0)))
+        assert schedule.extents[:2] == [1, 1]
+        assert schedule.bands[0].loops[0].trip == 256
+
+
+class TestInterchange:
+    def test_paper_example_innermost_to_outermost(self):
+        # I(2,0,1): position 0 takes old loop 2 (the innermost).
+        schedule = _matmul_schedule()
+        apply_interchange(schedule, Interchange((2, 0, 1)))
+        assert schedule.order == [2, 0, 1]
+        # innermost reduction (k=1024) is now outermost
+        assert schedule.extent_at(0) == 1024
+
+    def test_iterator_types_follow(self):
+        from repro.ir import IteratorType
+
+        schedule = _matmul_schedule()
+        apply_interchange(schedule, Interchange((2, 0, 1)))
+        assert schedule.iterator_type_at(0) is IteratorType.REDUCTION
+
+    def test_composition(self):
+        schedule = _matmul_schedule()
+        apply_interchange(schedule, Interchange((2, 0, 1)))
+        apply_interchange(schedule, Interchange((1, 2, 0)))
+        assert schedule.order == [0, 1, 2]
+
+    def test_non_permutation_rejected(self):
+        schedule = _matmul_schedule()
+        with pytest.raises(TransformError):
+            apply_interchange(schedule, Interchange((0, 0, 1)))
+
+    def test_wrong_length_rejected(self):
+        schedule = _matmul_schedule()
+        with pytest.raises(TransformError):
+            apply_interchange(schedule, Interchange((1, 0)))
+
+    def test_enumerated_candidates_size(self):
+        # 3N - 6 for N >= 4 (paper §V-A3)
+        assert swap_candidate_count(12) == 30
+        assert len(enumerated_candidates(12)) == 30
+        assert swap_candidate_count(4) == 6
+
+    def test_enumerated_candidates_are_swaps(self):
+        for perm in enumerated_candidates(6):
+            moved = [i for i, p in enumerate(perm) if p != i]
+            assert len(moved) == 2
+            assert abs(moved[0] - moved[1]) in (1, 2, 3)
+
+    @given(st.permutations(range(4)))
+    def test_interchange_is_bijective(self, perm):
+        schedule = _matmul_schedule()
+        # extend to shallow op: use a 4-loop op via batch matmul shape
+        from repro.ir import batch_matmul
+
+        op = batch_matmul(
+            tensor([2, 4, 8]), tensor([2, 8, 6]), tensor([2, 4, 6])
+        )
+        schedule = ScheduledOp(op)
+        apply_interchange(schedule, Interchange(tuple(perm)))
+        assert sorted(schedule.order) == [0, 1, 2, 3]
+
+
+class TestVectorization:
+    def test_basic(self):
+        schedule = _matmul_schedule(8, 8, 8)
+        assert can_vectorize(schedule)
+        apply_vectorization(schedule, Vectorization())
+        assert schedule.vectorized
+        assert schedule.is_terminal()
+
+    def test_innermost_512_limit(self):
+        schedule = _matmul_schedule()  # k innermost = 1024
+        assert not can_vectorize(schedule)
+        with pytest.raises(TransformError):
+            apply_vectorization(schedule, Vectorization())
+
+    def test_limit_is_exactly_512(self):
+        schedule = _matmul_schedule(8, 8, MAX_VECTOR_INNER_TRIP)
+        assert can_vectorize(schedule)
+        schedule = _matmul_schedule(8, 8, MAX_VECTOR_INNER_TRIP + 1)
+        assert not can_vectorize(schedule)
+
+    def test_tiling_enables_vectorization(self):
+        schedule = _matmul_schedule()
+        apply_tiling(schedule, Tiling((0, 0, 64)))
+        assert can_vectorize(schedule)
+
+    def test_pooling_precondition_fails(self):
+        op = pooling_nhwc_max(
+            tensor([1, 8, 8, 4]), tensor([1, 4, 4, 4]), (2, 2), (2, 2)
+        )
+        assert not vectorization_precondition(op)
+        assert not can_vectorize(ScheduledOp(op))
+
+    def test_conv_precondition_fails(self):
+        from repro.ir import conv_2d_nhwc_hwcf
+
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 8, 8, 4]), tensor([3, 3, 4, 8]), tensor([1, 6, 6, 8])
+        )
+        assert not vectorization_precondition(op)
+
+    def test_double_vectorization_rejected(self):
+        schedule = _matmul_schedule(8, 8, 8)
+        apply_vectorization(schedule, Vectorization())
+        assert not can_vectorize(schedule)
+
+
+class TestScheduledFunction:
+    def _chain(self):
+        x, y = tensor([64, 64]), tensor([64, 64])
+        first = add(x, y, empty([64, 64]))
+        second = relu(first.result(), empty([64, 64]))
+        func = FuncOp("chain", [x, y])
+        func.append(first)
+        func.append(second)
+        func.returns = [second.result()]
+        return func, first, second
+
+    def test_fusion_records_producer(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((8, 8)))
+        assert scheduled.schedule_of(first).fused_into is scheduled.schedule_of(
+            second
+        )
+        assert len(scheduled.schedule_of(second).fused) == 1
+
+    def test_fusion_without_producer_rejected(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        with pytest.raises(TransformError):
+            scheduled.apply(first, TiledFusion((8, 8)))
+
+    def test_fused_producer_not_refusable(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((8, 8)))
+        assert scheduled.fusable_producer_of(second) is None
+
+    def test_vectorized_producer_not_fusable(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(first, Vectorization())
+        assert scheduled.fusable_producer_of(second) is None
+
+    def test_no_transformation_records_history(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, NoTransformation())
+        assert len(scheduled.schedule_of(second).history) == 1
+
+    def test_clone_is_independent(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, Tiling((8, 8)))
+        clone = scheduled.clone()
+        clone.apply(second, Vectorization())
+        assert not scheduled.schedule_of(second).vectorized
+        assert clone.schedule_of(second).vectorized
+
+    def test_clone_remaps_fusion_links(self):
+        func, first, second = self._chain()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((8, 8)))
+        clone = scheduled.clone()
+        cloned_first = clone.schedule_of(first)
+        cloned_second = clone.schedule_of(second)
+        assert cloned_first.fused_into is cloned_second
+        assert cloned_second.fused[0].producer is cloned_first
+
+
+class TestRecomputeFactor:
+    def test_elementwise_fusion_no_recompute(self):
+        from repro.transforms import recompute_factor
+
+        x, y = tensor([64, 64]), tensor([64, 64])
+        first = add(x, y, empty([64, 64]))
+        second = relu(first.result(), empty([64, 64]))
+        func = FuncOp("chain", [x, y])
+        func.append(first)
+        func.append(second)
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((8, 8)))
+        factor = recompute_factor(
+            scheduled.schedule_of(second), scheduled.schedule_of(first)
+        )
+        assert factor == 1.0
+
+    def test_matmul_fusion_recomputes_across_tiles(self):
+        from repro.transforms import recompute_factor
+
+        x, y = tensor([64, 64]), tensor([64, 64])
+        first = add(x, y, empty([64, 64]))
+        b = tensor([64, 32])
+        second = matmul(first.result(), b, empty([64, 32]))
+        func = FuncOp("mm_chain", [x, y, b])
+        func.append(first)
+        func.append(second)
+        scheduled = ScheduledFunction(func)
+        # tile n (dim 1 of matmul) which the intermediate A does not use:
+        # each n-tile re-reads (and now recomputes) all of A.
+        scheduled.apply(second, TiledFusion((0, 8, 0)))
+        factor = recompute_factor(
+            scheduled.schedule_of(second), scheduled.schedule_of(first)
+        )
+        assert factor == 4.0  # 32/8 tiles of n

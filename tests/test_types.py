@@ -1,0 +1,80 @@
+"""Unit tests for element and tensor types."""
+
+import pytest
+
+from repro.ir.types import (
+    F32,
+    F64,
+    I32,
+    TensorType,
+    TypeError_,
+    element_type,
+    parse_tensor_type,
+)
+
+
+class TestElementTypes:
+    def test_f32_properties(self):
+        assert F32.bits == 32
+        assert F32.bytes == 4
+        assert F32.is_float
+
+    def test_i32_not_float(self):
+        assert not I32.is_float
+
+    def test_lookup_by_name(self):
+        assert element_type("f64") is F64
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeError_):
+            element_type("f128")
+
+
+class TestTensorTypes:
+    def test_shape_and_rank(self):
+        t = TensorType.get([4, 8], F32)
+        assert t.shape == (4, 8)
+        assert t.rank == 2
+
+    def test_num_elements_and_bytes(self):
+        t = TensorType.get([4, 8], F32)
+        assert t.num_elements == 32
+        assert t.size_bytes == 128
+
+    def test_f64_element_bytes(self):
+        t = TensorType.get([2, 2], F64)
+        assert t.size_bytes == 32
+
+    def test_str(self):
+        assert str(TensorType.get([256, 1024], F32)) == "tensor<256x1024xf32>"
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(TypeError_):
+            TensorType.get([0, 4], F32)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(TypeError_):
+            TensorType.get([-1], F32)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        t = parse_tensor_type("tensor<8x512xf64>")
+        assert t.shape == (8, 512)
+        assert t.element is F64
+
+    def test_roundtrip(self):
+        for text in ("tensor<4xf32>", "tensor<1x2x3x4xf32>", "tensor<7xi32>"):
+            assert str(parse_tensor_type(text)) == text
+
+    def test_not_a_tensor_raises(self):
+        with pytest.raises(TypeError_):
+            parse_tensor_type("memref<4xf32>")
+
+    def test_dynamic_extent_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_tensor_type("tensor<?xf32>")
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_tensor_type("tensor<4xq8>")
