@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..ir.ops import FuncOp
 from ..machine.executor import Executor
+from ..machine.service import pooled_executor
 from ..machine.spec import XEON_E5_2680_V4, MachineSpec
 from ..transforms.pipeline import ScheduledFunction
 
@@ -32,9 +33,16 @@ class OptimizationMethod(ABC):
 
     name: str = "method"
 
-    def __init__(self, spec: MachineSpec = XEON_E5_2680_V4):
+    def __init__(
+        self,
+        spec: MachineSpec = XEON_E5_2680_V4,
+        executor: Executor | None = None,
+    ):
         self.spec = spec
-        self.executor = Executor(spec)
+        # All methods comparing on the same spec share one memoized
+        # executor: identical nests (the baseline above all) time once
+        # per process instead of once per method per case.
+        self.executor = executor or pooled_executor(spec)
 
     @abstractmethod
     def run(self, func: FuncOp) -> MethodResult:

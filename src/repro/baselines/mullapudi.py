@@ -147,12 +147,9 @@ class MullapudiAutoscheduler(OptimizationMethod):
     ) -> float:
         schedule = scheduled.schedule_of(op)
         nest = lower_scheduled_op(schedule)
-        skip = (
-            frozenset().union(*(f.intermediate_ids for f in nest.fused))
-            if nest.fused
-            else frozenset()
-        )
-        return nest_time(nest, self.spec, skip_tensor_ids=skip).total
+        return nest_time(
+            nest, self.spec, skip_tensor_ids=nest.fused_skip_ids()
+        ).total
 
     @staticmethod
     def _adopt(target: ScheduledFunction, source: ScheduledFunction) -> None:

@@ -167,12 +167,9 @@ class BeamSearchAgent(OptimizationMethod):
         while root.fused_into is not None:
             root = root.fused_into
         nest = lower_scheduled_op(root)
-        skip = (
-            frozenset().union(*(f.intermediate_ids for f in nest.fused))
-            if nest.fused
-            else frozenset()
-        )
-        total = nest_time(nest, self.spec, skip_tensor_ids=skip).total
+        total = nest_time(
+            nest, self.spec, skip_tensor_ids=nest.fused_skip_ids()
+        ).total
         producer = scheduled.fusable_producer_of(op)
         if producer is not None and producer.fused_into is None:
             total += nest_time(

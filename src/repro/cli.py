@@ -64,7 +64,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             return 1
     suite = run_operator_suite(cases, methods, FIG5_METHOD_OPERATORS)
     print(render_fig5(suite))
+    if suite.cache is not None:
+        # Per-suite delta (not process-lifetime pool stats).
+        requests = suite.cache["hits"] + suite.cache["misses"]
+        print(
+            f"execution cache: {suite.cache['hits']}/{requests} hits "
+            f"({suite.cache['hit_rate']:.0%}), "
+            f"{suite.cache['misses']} cost-model evaluations"
+        )
     return 0
+
+
+def _print_cache_stats(executor) -> None:
+    """One-line execution-cache summary (pooled service telemetry)."""
+    stats = getattr(executor, "stats", None)
+    if stats is None or not stats.requests:
+        return
+    print(
+        f"execution cache: {stats.hits}/{stats.requests} hits "
+        f"({stats.hit_rate:.0%}), {stats.evaluations} cost-model "
+        f"evaluations, {stats.evictions} evictions"
+    )
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -83,7 +103,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         env,
         agent,
         sampler,
-        PPOConfig(samples_per_iteration=args.samples, minibatch_size=16),
+        PPOConfig(
+            samples_per_iteration=args.samples,
+            minibatch_size=16,
+            num_envs=args.num_envs,
+        ),
         seed=args.seed,
     )
     history = trainer.train(args.iterations)
@@ -94,6 +118,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     save_agent(agent, args.checkpoint)
     print(f"checkpoint saved to {args.checkpoint}")
+    _print_cache_stats(env.executor)
     return 0
 
 
@@ -155,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
     train = commands.add_parser("train", help="train the PPO agent")
     train.add_argument("--iterations", type=int, default=5)
     train.add_argument("--samples", type=int, default=8)
+    train.add_argument(
+        "--num-envs",
+        type=int,
+        default=1,
+        help="episodes collected concurrently; >1 opts into batched "
+        "rollouts (RNG consumption differs from sequential, so "
+        "checkpoints are not seed-identical across values)",
+    )
     train.add_argument("--hidden", type=int, default=64)
     train.add_argument("--scale", type=float, default=0.01)
     train.add_argument("--seed", type=int, default=0)

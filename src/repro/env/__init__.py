@@ -32,6 +32,7 @@ from .history import ActionHistory
 from .masking import ActionMask, compute_mask
 from .reward import RewardModel, RewardState
 from .spaces import Box, DictSpace, Discrete, MultiDiscrete, Space
+from .vector import VecMlirRlEnv, VecObservation, VecStepResult
 
 __all__ = [
     "ActionHistory",
@@ -53,6 +54,9 @@ __all__ = [
     "RewardState",
     "Space",
     "StepResult",
+    "VecMlirRlEnv",
+    "VecObservation",
+    "VecStepResult",
     "compute_mask",
     "decode_action",
     "feature_size",

@@ -38,6 +38,16 @@ class EnvConfig:
     max_schedule_length: int = 5        # tau
     interchange_mode: InterchangeMode = InterchangeMode.LEVEL_POINTERS
     reward_mode: RewardMode = RewardMode.FINAL
+    #: Hard per-episode step bound (0 disables).  Legal episodes are
+    #: naturally bounded — at most tau transformations per op, each
+    #: interchange costing up to N pointer sub-steps, so ~tau*N steps
+    #: per op — but an agent that keeps emitting illegal actions (mild
+    #: penalty, not done) would otherwise loop forever.  Crossing the
+    #: bound ends the episode with ``info["truncated"] = True`` and the
+    #: terminal reward for the schedule reached.  The default is a
+    #: backstop sized far above any legal paper-scale episode
+    #: (tau=5 x N=12 x ~60 ops).
+    max_episode_steps: int = 4096
 
     @property
     def num_tile_sizes(self) -> int:
@@ -54,6 +64,8 @@ class EnvConfig:
             raise ValueError("schedule length must be positive")
         if self.max_loops < 2:
             raise ValueError("need at least two loop levels")
+        if self.max_episode_steps < 0:
+            raise ValueError("max_episode_steps must be >= 0 (0 disables)")
 
 
 def small_config(**overrides) -> EnvConfig:

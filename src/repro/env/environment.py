@@ -11,6 +11,20 @@ operation.
 Observations are the Fig. 1 representation vectors of the current
 consumer and its (last) producer plus the action masks.  Rewards are
 log-speedups measured on the machine model.
+
+Episode truncation: legal episodes are naturally bounded (at most
+``tau`` transformations per op plus pointer sub-steps), but illegal
+actions cost a mild penalty without ending the episode, so an agent that
+ignores the masks could loop forever.  ``EnvConfig.max_episode_steps``
+caps the episode; crossing the cap ends it with ``done=True`` and
+``info["truncated"]=True``, delivering the terminal reward for whatever
+schedule was reached.
+
+Execution costs: the default executor is a
+:class:`~repro.machine.service.CachingExecutor`, so re-timing an
+unchanged schedule (baseline re-evaluations, pointer sub-steps, no-ops,
+info probes) hits a memoization cache; its hit/miss statistics are
+surfaced under ``StepResult.info["cache"]``.
 """
 
 from __future__ import annotations
@@ -22,6 +36,7 @@ import numpy as np
 
 from ..ir.ops import FuncOp, LinalgOp
 from ..machine.executor import Executor
+from ..machine.service import CachingExecutor
 from ..transforms.pipeline import ScheduledFunction
 from ..transforms.records import (
     Interchange,
@@ -30,7 +45,7 @@ from ..transforms.records import (
 )
 from ..transforms.scheduled_op import ScheduledOp, TransformError
 from .actions import EnvAction, decode_action
-from .config import EnvConfig, InterchangeMode, PAPER_CONFIG
+from .config import EnvConfig, InterchangeMode, PAPER_CONFIG, RewardMode
 from .features import feature_size, op_features, zero_features
 from .history import ActionHistory
 from .masking import ActionMask, compute_mask
@@ -69,7 +84,7 @@ class MlirRlEnv:
         executor: Executor | None = None,
     ):
         self.config = config
-        self.executor = executor or Executor()
+        self.executor = executor or CachingExecutor()
         self.reward_model = RewardModel(self.executor, config.reward_mode)
         self._provider = benchmark_provider
         self._func: FuncOp | None = None
@@ -80,6 +95,9 @@ class MlirRlEnv:
         self._pointer_placed: list[int] = []
         self._reward_state: RewardState | None = None
         self._episode_steps = 0
+        #: bumped on every applied transform; keys the info-probe memo
+        self._schedule_version = 0
+        self._probe_memo: tuple[int, float] | None = None
 
     # -- episode control -------------------------------------------------------
 
@@ -97,6 +115,8 @@ class MlirRlEnv:
         self._visited = set()
         self._pointer_placed = []
         self._episode_steps = 0
+        self._schedule_version = 0
+        self._probe_memo = None
         self._current = func.body[-1]
         self._reward_state = self.reward_model.start_episode(self.scheduled)
         return self._observe()
@@ -189,6 +209,12 @@ class MlirRlEnv:
             done_with_op, applied, illegal = self._pointer_step(
                 schedule, history, action
             )
+        elif self._pointer_placed:
+            # Mid pointer sequence the mask forces continuation; any other
+            # action would leave the partial permutation rows and pointer
+            # state inconsistent, so it is illegal (nothing is applied).
+            info["error"] = "interchange pointer sequence in progress"
+            illegal = True
         else:
             record = self._decode(schedule, action)
             if record is None:
@@ -208,13 +234,25 @@ class MlirRlEnv:
             ):
                 done_with_op = not illegal
 
+        if applied is not None:
+            self._schedule_version += 1
+
+        truncated = (
+            self.config.max_episode_steps > 0
+            and self._episode_steps >= self.config.max_episode_steps
+        )
+
         if illegal:
             # Illegal actions should be masked; reaching here means the
-            # agent ignored the mask.  Penalize mildly and continue.
-            reward = -0.1
-            observation = self._observe()
+            # agent ignored the mask.  Penalize mildly and continue —
+            # unless the step budget is exhausted, which ends the episode
+            # (otherwise a mask-ignoring agent loops forever).
             info["illegal"] = True
-            return StepResult(observation, reward, False, info)
+            if truncated:
+                return self._finish_truncated(info, penalty=-0.1)
+            observation = self._observe()
+            self._attach_exec_info(info)
+            return StepResult(observation, -0.1, False, info)
 
         budget_exhausted = history.step >= self.config.max_schedule_length
         if budget_exhausted and not self._pointer_placed:
@@ -223,14 +261,69 @@ class MlirRlEnv:
         done = False
         if done_with_op:
             done = self._advance()
+        if truncated and not done:
+            return self._finish_truncated(info)
 
         reward = self.reward_model.step_reward(
             self._reward_state, self.scheduled, done
         )
-        info["speedup"] = self.reward_model.speedup(self._reward_state)
-        info["executions"] = self._reward_state.executions
+        self._attach_exec_info(info, done)
         observation = None if done else self._observe()
         return StepResult(observation, reward, done, info)
+
+    def _finish_truncated(self, info: dict, penalty: float = 0.0) -> StepResult:
+        """End the episode at the step cap with the terminal reward."""
+        assert self._reward_state is not None and self.scheduled is not None
+        info["truncated"] = True
+        self._pointer_placed = []
+        self._current = None
+        reward = penalty + self.reward_model.step_reward(
+            self._reward_state, self.scheduled, True
+        )
+        self._attach_exec_info(info, done=True)
+        return StepResult(None, reward, True, info)
+
+    def _attach_exec_info(self, info: dict, done: bool = False) -> None:
+        """Record speedup/execution telemetry on a step's info dict.
+
+        ``speedup`` is the *true* speedup of the current schedule — in
+        FINAL reward mode ``RewardState.last_seconds`` only updates at
+        episode end, so the stale value would read 1.0 on every
+        intermediate step.  When the live value is already known
+        (IMMEDIATE mode executes every step; any mode executes at
+        episode end) it is read off the reward state for free; only
+        intermediate FINAL-mode steps pay an info probe, which does not
+        count toward ``executions`` (the Fig. 7 quantity) and is a
+        cache hit whenever the schedule is unchanged.
+        """
+        assert self._reward_state is not None and self.scheduled is not None
+        if done or self.reward_model.mode is RewardMode.IMMEDIATE:
+            info["speedup"] = self.reward_model.speedup(self._reward_state)
+        else:
+            info["speedup"] = (
+                self._reward_state.baseline_seconds
+                / self._scheduled_seconds()
+            )
+        info["executions"] = self._reward_state.executions
+        stats = getattr(self.executor, "stats", None)
+        if stats is not None:
+            info["cache"] = stats.snapshot()
+
+    def _scheduled_seconds(self) -> float:
+        """Current schedule's time, memoized per schedule version.
+
+        Steps that change nothing (pointer sub-steps, no-ops, illegal
+        actions) reuse the previous probe without re-lowering the
+        function; the memo is an info-only probe that never counts
+        toward ``RewardState.executions``.
+        """
+        assert self.scheduled is not None
+        memo = self._probe_memo
+        if memo is not None and memo[0] == self._schedule_version:
+            return memo[1]
+        seconds = self.executor.run_scheduled(self.scheduled).seconds
+        self._probe_memo = (self._schedule_version, seconds)
+        return seconds
 
     def _decode(
         self, schedule: ScheduledOp, action: EnvAction
@@ -263,6 +356,10 @@ class MlirRlEnv:
             assert self.scheduled is not None and self._current is not None
             self.scheduled.apply(self._current, record)
         except TransformError:
+            # The permutation was never applied: erase the partial one-hot
+            # rows so later observations don't describe a phantom
+            # interchange.
+            history.rollback_partial_interchange(self._pointer_placed)
             self._pointer_placed = []
             return False, None, True
         history.record(record)
@@ -277,5 +374,4 @@ class MlirRlEnv:
     def final_speedup(self) -> float:
         """Speedup of the fully-scheduled function over its baseline."""
         assert self.scheduled is not None and self._reward_state is not None
-        seconds = self.executor.run_scheduled(self.scheduled).seconds
-        return self._reward_state.baseline_seconds / seconds
+        return self._reward_state.baseline_seconds / self._scheduled_seconds()

@@ -13,6 +13,8 @@ Per-transformation one-hot matrices indexed by time step:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..transforms.records import (
@@ -93,6 +95,20 @@ class ActionHistory:
             return
         if position < self.config.max_loops and loop < self.config.max_loops:
             self.interchange[self.step, position, loop] = 1.0
+
+    def rollback_partial_interchange(self, placed: "Sequence[int]") -> None:
+        """Erase the partial rows of a permutation that was never applied.
+
+        When the completed permutation is rejected by the transform
+        pipeline, the incrementally-recorded one-hot rows would otherwise
+        describe an interchange that never happened and pollute every
+        later observation of this op.
+        """
+        if self.step >= self.config.max_schedule_length:
+            return
+        for position, loop in enumerate(placed):
+            if position < self.config.max_loops and loop < self.config.max_loops:
+                self.interchange[self.step, position, loop] = 0.0
 
     def flatten(self) -> np.ndarray:
         """Concatenate all history tensors into one feature vector."""

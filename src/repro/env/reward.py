@@ -67,5 +67,10 @@ class RewardModel:
         return math.log(state.baseline_seconds / seconds)
 
     def speedup(self, state: RewardState) -> float:
-        """Speedup achieved so far (over the baseline)."""
+        """Speedup at the last reward-driven execution (over baseline).
+
+        In FINAL mode ``last_seconds`` only updates at episode end, so
+        this is stale mid-episode; ``MlirRlEnv`` reports the live value
+        in ``StepResult.info["speedup"]`` via a memoized probe instead.
+        """
         return state.baseline_seconds / state.last_seconds

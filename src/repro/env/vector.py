@@ -1,0 +1,172 @@
+"""Vectorized environment: N independent episodes, stacked observations.
+
+:class:`VecMlirRlEnv` steps N :class:`~repro.env.environment.MlirRlEnv`
+instances in lockstep and exposes their observations as stacked
+``(B, feature)`` arrays, so a batched policy can run one network forward
+pass per vector step instead of one per environment.  All member
+environments share a single :class:`~repro.machine.service.
+CachingExecutor`, so identical schedules across episodes (baselines
+above all) are timed once.
+
+Semantics are deliberately plain: no auto-reset.  An episode that
+finishes keeps reporting ``done`` and a zeroed observation row until the
+whole vector is reset; callers pass ``None`` as the action for finished
+slots.  This makes a vectorized rollout with per-env policy generators
+bit-equivalent to N sequential single-env rollouts (see
+``tests/test_vec_env.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ir.ops import FuncOp
+from ..machine.executor import Executor
+from ..machine.service import CachingExecutor
+from .actions import EnvAction
+from .config import EnvConfig, PAPER_CONFIG
+from .environment import MlirRlEnv, Observation
+from .features import feature_size
+from .masking import ActionMask
+
+
+@dataclass
+class VecObservation:
+    """Stacked observations of all member environments.
+
+    Finished environments contribute zero rows; ``masks[i]`` is ``None``
+    for them.  ``active`` marks environments still running.
+    """
+
+    consumer: np.ndarray                  # (B, feature)
+    producer: np.ndarray                  # (B, feature)
+    masks: list[ActionMask | None]
+    active: np.ndarray                    # (B,) bool
+
+    def observation_of(self, index: int) -> Observation | None:
+        """The per-env view of slot ``index`` (None when finished)."""
+        if not self.active[index]:
+            return None
+        return Observation(
+            consumer=self.consumer[index],
+            producer=self.producer[index],
+            mask=self.masks[index],
+        )
+
+
+@dataclass
+class VecStepResult:
+    """One vector step: stacked rewards/dones plus per-env infos."""
+
+    observation: VecObservation
+    rewards: np.ndarray                   # (B,)
+    dones: np.ndarray                     # (B,) bool
+    infos: list[dict] = field(default_factory=list)
+
+
+class VecMlirRlEnv:
+    """N independent episodes stepped as one batch.
+
+    ``executor`` defaults to a fresh shared :class:`CachingExecutor`;
+    pass :func:`repro.machine.service.pooled_executor` to share timings
+    with other consumers in the process.
+    """
+
+    def __init__(
+        self,
+        num_envs: int,
+        benchmark_provider: Callable[[], FuncOp] | None = None,
+        config: EnvConfig = PAPER_CONFIG,
+        executor: Executor | None = None,
+    ):
+        if num_envs < 1:
+            raise ValueError("need at least one environment")
+        self.config = config
+        self.executor = executor or CachingExecutor()
+        self.envs = [
+            MlirRlEnv(benchmark_provider, config, self.executor)
+            for _ in range(num_envs)
+        ]
+        self._observations: list[Observation | None] = [None] * num_envs
+        self._feature = feature_size(config)
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    def reset(
+        self, funcs: Sequence[FuncOp | None] | None = None
+    ) -> VecObservation:
+        """Start a new episode in every slot.
+
+        ``funcs`` gives one function per environment (or None entries to
+        draw from the benchmark provider); omitting it draws every
+        episode from the provider.
+        """
+        if funcs is None:
+            funcs = [None] * self.num_envs
+        if len(funcs) != self.num_envs:
+            raise ValueError(
+                f"{len(funcs)} functions for {self.num_envs} environments"
+            )
+        self._observations = [
+            env.reset(func) for env, func in zip(self.envs, funcs)
+        ]
+        return self._stack()
+
+    def step(self, actions: Sequence[EnvAction | None]) -> VecStepResult:
+        """Apply one action per environment (None for finished slots)."""
+        if len(actions) != self.num_envs:
+            raise ValueError(
+                f"{len(actions)} actions for {self.num_envs} environments"
+            )
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: list[dict] = []
+        for index, (env, action) in enumerate(zip(self.envs, actions)):
+            if self._observations[index] is None:
+                if action is not None:
+                    raise ValueError(
+                        f"environment {index} already finished its episode"
+                    )
+                dones[index] = True
+                infos.append({})
+                continue
+            if action is None:
+                raise ValueError(f"environment {index} expects an action")
+            result = env.step(action)
+            self._observations[index] = result.observation
+            rewards[index] = result.reward
+            dones[index] = result.done
+            infos.append(result.info)
+        return VecStepResult(self._stack(), rewards, dones, infos)
+
+    def _stack(self) -> VecObservation:
+        consumer = np.zeros((self.num_envs, self._feature))
+        producer = np.zeros((self.num_envs, self._feature))
+        masks: list[ActionMask | None] = []
+        active = np.zeros(self.num_envs, dtype=bool)
+        for index, observation in enumerate(self._observations):
+            if observation is None:
+                masks.append(None)
+                continue
+            consumer[index] = observation.consumer
+            producer[index] = observation.producer
+            masks.append(observation.mask)
+            active[index] = True
+        return VecObservation(consumer, producer, masks, active)
+
+    def active_indices(self) -> list[int]:
+        """Indices of environments whose episodes are still running."""
+        return [
+            index
+            for index, observation in enumerate(self._observations)
+            if observation is not None
+        ]
+
+    def final_speedup(self, index: int) -> float:
+        """Final speedup of slot ``index`` (see MlirRlEnv.final_speedup)."""
+        return self.envs[index].final_speedup()

@@ -3,6 +3,11 @@
 The paper's metric (§VII-A3): speedup of each method's code over the
 unoptimized-MLIR baseline; the machine model is deterministic, so single
 evaluations replace the paper's median-of-5 runs.
+
+All methods on one machine spec share the pooled
+:class:`~repro.machine.service.CachingExecutor`, so the baseline (and
+any schedule several methods converge to) is timed once per suite; the
+suite's cache hit/miss delta is reported in ``SuiteResult.cache``.
 """
 
 from __future__ import annotations
@@ -38,6 +43,9 @@ class SuiteResult:
     """All case results plus aggregates."""
 
     cases: list[CaseResult] = field(default_factory=list)
+    #: Execution-cache telemetry of the run (None without a caching
+    #: executor): hits/misses/hit_rate attributable to this suite.
+    cache: dict | None = None
 
     def methods(self) -> list[str]:
         names: list[str] = []
@@ -70,7 +78,7 @@ class SuiteResult:
         return {method: geomean(values) for method, values in totals.items()}
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "cases": [
                 {
                     "case": c.case,
@@ -83,6 +91,9 @@ class SuiteResult:
             "by_operator": self.by_operator(),
             "overall": self.overall(),
         }
+        if self.cache is not None:
+            data["cache"] = self.cache
+        return data
 
 
 def run_function(
@@ -121,6 +132,15 @@ def run_operator_suite(
     """
     suite = SuiteResult()
     baseline = MlirBaseline(methods[0].spec) if methods else MlirBaseline()
+    # Telemetry covers every distinct caching executor the suite touches
+    # (methods may carry their own instead of the pooled one).
+    executors = {}
+    for owner in [baseline, *methods]:
+        if getattr(owner.executor, "stats", None) is not None:
+            executors[id(owner.executor)] = owner.executor
+    starts = {
+        key: (e.stats.hits, e.stats.misses) for key, e in executors.items()
+    }
     for case in cases:
         func = case.build()
         base_seconds = baseline.seconds(func)
@@ -135,4 +155,17 @@ def run_operator_suite(
                     continue
             result.speedups[method.name] = base_seconds / method.seconds(func)
         suite.cases.append(result)
+    if executors:
+        hits = sum(
+            e.stats.hits - starts[key][0] for key, e in executors.items()
+        )
+        misses = sum(
+            e.stats.misses - starts[key][1] for key, e in executors.items()
+        )
+        total = hits + misses
+        suite.cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
     return suite

@@ -9,6 +9,14 @@ baselines.
 
 from .cache import CacheHierarchy, SetAssociativeCache, iterate_points, simulate_nest
 from .executor import ExecutionResult, Executor
+from .service import (
+    CacheStats,
+    CachingExecutor,
+    ExecutionCache,
+    nest_fingerprint,
+    pooled_executor,
+    reset_pool,
+)
 from .kernels import (
     COMPILED_DISPATCH_SECONDS,
     EAGER_DISPATCH_SECONDS,
@@ -33,8 +41,11 @@ __all__ = [
     "BodyCost",
     "CacheHierarchy",
     "CacheLevel",
+    "CacheStats",
+    "CachingExecutor",
     "COMPILED_DISPATCH_SECONDS",
     "EAGER_DISPATCH_SECONDS",
+    "ExecutionCache",
     "ExecutionResult",
     "Executor",
     "KernelProfile",
@@ -52,10 +63,13 @@ __all__ = [
     "iterate_points",
     "kernel_time",
     "laptop_spec",
+    "nest_fingerprint",
     "nest_time",
     "nest_traffic",
     "nests_time",
     "op_flops",
     "operand_bytes",
+    "pooled_executor",
+    "reset_pool",
     "simulate_nest",
 ]

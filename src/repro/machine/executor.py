@@ -4,6 +4,11 @@ This is the stand-in for "run the compiled binary and measure": the
 deterministic performance model applied to lowered loop nests.  The RL
 environment's reward, all baselines, and the benchmark harness measure
 time through this module.
+
+Hot paths should prefer :class:`repro.machine.service.CachingExecutor`
+(or the process-wide :func:`repro.machine.service.pooled_executor`),
+which memoizes per-nest timings by structural fingerprint and returns
+bit-identical results.
 """
 
 from __future__ import annotations

@@ -1,0 +1,244 @@
+"""Memoized execution service: schedule-keyed timing cache.
+
+The cost model (:func:`repro.machine.timing.nest_time`) is deterministic,
+so two structurally identical lowered nests always time the same.  Yet the
+hot paths — RL reward evaluation, baselines, the benchmark harness — keep
+re-timing identical schedules: every episode re-times the same baseline,
+every pointer sub-step and no-op re-times an unchanged schedule, and
+evaluation suites time the same nests across methods.
+
+This module removes that redundancy:
+
+* :func:`nest_fingerprint` — a canonical structural key for a lowered
+  nest: loop structure (dim/trip/span/parallel/vector flags), access
+  matrices with tensor ids renamed to first-appearance indices, scalar
+  body costs, reduction dims, and the full fused-producer tree with
+  recompute factors.  Two nests with equal fingerprints are
+  indistinguishable to the cost model.
+* :class:`ExecutionCache` — a bounded LRU from (machine spec,
+  fingerprint) to :class:`~repro.machine.timing.TimingBreakdown`, with
+  hit/miss/eviction counters.
+* :class:`CachingExecutor` — a drop-in :class:`~repro.machine.executor.
+  Executor` that routes every per-nest timing through the cache.  Cached
+  and uncached results are bit-identical (the cache stores the exact
+  breakdown the model produced).
+* :func:`pooled_executor` — a per-spec shared ``CachingExecutor`` so
+  independent consumers (baselines, evaluation runners, vectorized
+  environments) share one cache within a process.
+
+The cache key is the full fingerprint tuple, not its hash, so structurally
+different nests can never collide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..ir.ops import FuncOp
+from ..transforms.loop_nest import LoweredNest
+from ..transforms.lowering import lower_baseline
+from ..transforms.pipeline import ScheduledFunction
+from .executor import ExecutionResult, Executor
+from .spec import XEON_E5_2680_V4, MachineSpec
+from .timing import TimingBreakdown, nest_time
+
+Fingerprint = tuple
+
+
+def _canonical_tensor_ids(nest: LoweredNest) -> dict[int, int]:
+    """Rename raw ``id()``-based tensor ids to first-appearance indices.
+
+    The renaming walks the nest and its fused producers in a fixed order,
+    so two structurally identical nests built from different Python
+    objects map to the same canonical ids.
+    """
+    mapping: dict[int, int] = {}
+
+    def visit(node: LoweredNest) -> None:
+        for access in node.accesses:
+            if access.tensor_id not in mapping:
+                mapping[access.tensor_id] = len(mapping)
+        for fused in node.fused:
+            visit(fused.nest)
+
+    visit(nest)
+    return mapping
+
+
+def _fingerprint_with(nest: LoweredNest, ids: dict[int, int]) -> Fingerprint:
+    loops = tuple(
+        (loop.dim, loop.trip, loop.span, loop.parallel, loop.vector)
+        for loop in nest.loops
+    )
+    accesses = tuple(
+        (
+            access.tensor_shape,
+            access.element_bytes,
+            access.matrix,
+            access.is_write,
+            ids[access.tensor_id],
+        )
+        for access in nest.accesses
+    )
+    fused = tuple(
+        (
+            _fingerprint_with(child.nest, ids),
+            child.recompute,
+            tuple(
+                sorted(
+                    ids[raw]
+                    for raw in child.intermediate_ids
+                    if raw in ids
+                )
+            ),
+        )
+        for child in nest.fused
+    )
+    return (
+        loops,
+        accesses,
+        nest.flops_per_point,
+        nest.arith_uops,
+        tuple(sorted(nest.reduction_dims)),
+        nest.vectorized,
+        fused,
+    )
+
+
+def nest_fingerprint(nest: LoweredNest) -> Fingerprint:
+    """Canonical structural key of a lowered nest (plus fused producers).
+
+    Captures everything :func:`~repro.machine.timing.nest_time` reads;
+    intermediate tensor ids that never appear in any access are dropped
+    (they cannot affect traffic).
+    """
+    return _fingerprint_with(nest, _canonical_tensor_ids(nest))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss telemetry of one :class:`ExecutionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def evaluations(self) -> int:
+        """Cost-model evaluations actually performed (= misses)."""
+        return self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ExecutionCache:
+    """Bounded LRU from (spec, nest fingerprint) to a timing breakdown."""
+
+    def __init__(self, maxsize: int = 8192):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, TimingBreakdown] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def timed(
+        self, spec: MachineSpec, nest: LoweredNest
+    ) -> TimingBreakdown:
+        """The breakdown of ``nest`` under ``spec``, computed on miss."""
+        key = (spec, nest_fingerprint(nest))
+        hit = self._entries.get(key)
+        if hit is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return hit
+        self.stats.misses += 1
+        breakdown = nest_time(
+            nest, spec, skip_tensor_ids=nest.fused_skip_ids()
+        )
+        self._entries[key] = breakdown
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return breakdown
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CachingExecutor(Executor):
+    """An :class:`Executor` whose per-nest timings are memoized.
+
+    Semantics-preserving by construction: on a miss the exact
+    :func:`nest_time` result is stored and replayed verbatim on later
+    hits, so cached and uncached timings are bit-identical.  A cache can
+    be shared between executors (see :func:`pooled_executor`).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec = XEON_E5_2680_V4,
+        cache: ExecutionCache | None = None,
+        maxsize: int = 8192,
+    ):
+        super().__init__(spec)
+        # NB: an empty ExecutionCache is falsy (it has __len__), so the
+        # sentinel must be an explicit None check.
+        self.cache = cache if cache is not None else ExecutionCache(
+            maxsize=maxsize
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def _timed_nests(self, nests: list[LoweredNest]) -> ExecutionResult:
+        total = TimingBreakdown(0.0, 0.0, 0.0, 0.0, 1)
+        for nest in nests:
+            total = total + self.cache.timed(self.spec, nest)
+        return ExecutionResult(total.total, total)
+
+    def run_baseline(self, func: FuncOp) -> ExecutionResult:
+        nests = [lower_baseline(op) for op in func.body]
+        return self._timed_nests(nests)
+
+    def run_scheduled(self, scheduled: ScheduledFunction) -> ExecutionResult:
+        return self._timed_nests(scheduled.lower())
+
+
+_POOL: dict[MachineSpec, CachingExecutor] = {}
+
+
+def pooled_executor(spec: MachineSpec = XEON_E5_2680_V4) -> CachingExecutor:
+    """The process-wide shared caching executor for ``spec``.
+
+    Baselines, evaluation runners, and vectorized environments that time
+    the same functions all hit one cache instead of recomputing.
+    """
+    executor = _POOL.get(spec)
+    if executor is None:
+        executor = CachingExecutor(spec)
+        _POOL[spec] = executor
+    return executor
+
+
+def reset_pool() -> None:
+    """Drop all pooled executors (test isolation)."""
+    _POOL.clear()

@@ -206,8 +206,7 @@ def nests_time(
     """Total time of a nest sequence (one function)."""
     total = TimingBreakdown(0.0, 0.0, 0.0, 0.0, 1)
     for nest in nests:
-        skip = frozenset().union(
-            *(f.intermediate_ids for f in nest.fused)
-        ) if nest.fused else frozenset()
-        total = total + nest_time(nest, spec, skip_tensor_ids=skip)
+        total = total + nest_time(
+            nest, spec, skip_tensor_ids=nest.fused_skip_ids()
+        )
     return total

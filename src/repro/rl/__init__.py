@@ -15,6 +15,7 @@ from .rollout import (
     Trajectory,
     collect_batch,
     collect_episode,
+    collect_episodes_batched,
     collect_flat_episode,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "ValueNetwork",
     "collect_batch",
     "collect_episode",
+    "collect_episodes_batched",
     "collect_flat_episode",
     "compute_gae",
     "load_agent",

@@ -11,6 +11,7 @@ same sum differentiably.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -80,10 +81,55 @@ class ActorCritic:
         consumer = Tensor(observation.consumer[None, :])
         heads = self.policy(producer, consumer)
         value = float(self.value(producer, consumer).data[0])
+        row = {name: np.asarray(t.data)[0] for name, t in heads.items()}
+        return self._sample_row(row, value, observation, rng, greedy)
+
+    def act_batch(
+        self,
+        observations: "Sequence[Observation]",
+        rngs: "Sequence[np.random.Generator]",
+        greedy: bool = False,
+    ) -> list[tuple[EnvAction, SampledStep]]:
+        """Act on a batch of observations with ONE network forward pass.
+
+        Each row samples from its own generator (``rngs[i]``), consuming
+        it exactly as a single-observation :meth:`act` call would — so a
+        vectorized rollout with per-env generators reproduces N
+        sequential single-env rollouts.
+        """
+        if len(observations) != len(rngs):
+            raise ValueError("need one rng per observation")
+        if not observations:
+            return []
+        producer = Tensor(np.stack([o.producer for o in observations]))
+        consumer = Tensor(np.stack([o.consumer for o in observations]))
+        heads = self.policy(producer, consumer)
+        values = np.asarray(self.value(producer, consumer).data)
+        head_data = {name: np.asarray(t.data) for name, t in heads.items()}
+        out = []
+        for index, (observation, rng) in enumerate(zip(observations, rngs)):
+            row = {name: data[index] for name, data in head_data.items()}
+            out.append(
+                self._sample_row(
+                    row, float(values[index]), observation, rng, greedy
+                )
+            )
+        return out
+
+    def _sample_row(
+        self,
+        heads: dict[str, np.ndarray],
+        value: float,
+        observation: Observation,
+        rng: np.random.Generator,
+        greedy: bool,
+    ) -> tuple[EnvAction, SampledStep]:
+        """Sample one decision from per-row head logits (no batch axis)."""
         mask = observation.mask
 
         trans_dist = MaskedCategorical(
-            heads["transformation"], mask.transformation[None, :]
+            Tensor(heads["transformation"][None, :]),
+            mask.transformation[None, :],
         )
         if greedy:
             trans = int(trans_dist.mode()[0])
@@ -99,7 +145,8 @@ class ActorCritic:
         if kind in _TILED_KINDS:
             tile_mask_used = _tile_mask_for(mask, kind)
             tile_dist = MaskedCategorical(
-                heads[_TILE_HEAD_NAME[kind]], tile_mask_used[None, :, :]
+                Tensor(heads[_TILE_HEAD_NAME[kind]][None, :, :]),
+                tile_mask_used[None, :, :],
             )
             if greedy:
                 sampled = tile_dist.mode()[0]
@@ -111,7 +158,8 @@ class ActorCritic:
             )
         elif kind is TransformKind.INTERCHANGE:
             inter_dist = MaskedCategorical(
-                heads["interchange"], mask.interchange[None, :]
+                Tensor(heads["interchange"][None, :]),
+                mask.interchange[None, :],
             )
             if greedy:
                 interchange_index = int(inter_dist.mode()[0])

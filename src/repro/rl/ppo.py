@@ -16,12 +16,18 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..env.environment import MlirRlEnv
+from ..env.vector import VecMlirRlEnv
 from ..ir.ops import FuncOp
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, where
 from .agent import ActorCritic, FlatActorCritic
 from .gae import compute_gae, normalize_advantages
-from .rollout import Trajectory, collect_episode, collect_flat_episode
+from .rollout import (
+    Trajectory,
+    collect_episode,
+    collect_episodes_batched,
+    collect_flat_episode,
+)
 
 
 @dataclass(frozen=True)
@@ -38,6 +44,9 @@ class PPOConfig:
     minibatch_size: int = 32
     samples_per_iteration: int = 64
     max_grad_norm: float = 0.5
+    #: Episodes collected concurrently through a VecMlirRlEnv (one policy
+    #: forward per vector step instead of one per env); 1 = sequential.
+    num_envs: int = 1
 
 
 @dataclass
@@ -99,12 +108,38 @@ class PPOTrainer:
     # -- collection ------------------------------------------------------------
 
     def collect(self) -> list[Trajectory]:
+        if self.config.num_envs > 1:
+            return self._collect_vectorized()
         trajectories = []
         for _ in range(self.config.samples_per_iteration):
             func = self.sampler(self.rng)
             trajectories.append(
                 collect_episode(self.env, self.agent, func, self.rng)
             )
+        return trajectories
+
+    def _collect_vectorized(self) -> list[Trajectory]:
+        """Collect the iteration's episodes in vec-env batches.
+
+        Batches share the training env's (caching) executor, so baseline
+        timings stay warm across iterations.
+        """
+        trajectories: list[Trajectory] = []
+        remaining = self.config.samples_per_iteration
+        while remaining > 0:
+            batch = min(self.config.num_envs, remaining)
+            funcs = [self.sampler(self.rng) for _ in range(batch)]
+            rngs = [
+                np.random.default_rng(int(self.rng.integers(0, 2**63)))
+                for _ in range(batch)
+            ]
+            vec_env = VecMlirRlEnv(
+                batch, config=self.env.config, executor=self.env.executor
+            )
+            trajectories.extend(
+                collect_episodes_batched(vec_env, self.agent, funcs, rngs)
+            )
+            remaining -= batch
         return trajectories
 
     # -- update ---------------------------------------------------------------

@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..env.environment import MlirRlEnv
+from ..env.vector import VecMlirRlEnv
 from ..ir.ops import FuncOp
 from .agent import ActorCritic, FlatActorCritic, FlatSampledStep, SampledStep
 
@@ -30,18 +31,33 @@ class Trajectory:
         return len(self.steps)
 
 
+def _step_limit(config, max_steps: int | None) -> int:
+    """The collector's loop bound.
+
+    Defaults to the environment's own truncation cap so the env — not
+    the collector — ends runaway episodes (delivering the terminal
+    reward); the flat 200 only backstops configs that disabled
+    truncation.
+    """
+    if max_steps is not None:
+        return max_steps
+    if config.max_episode_steps > 0:
+        return config.max_episode_steps
+    return 200
+
+
 def collect_episode(
     env: MlirRlEnv,
     agent: ActorCritic,
     func: FuncOp,
     rng: np.random.Generator,
-    max_steps: int = 200,
+    max_steps: int | None = None,
     greedy: bool = False,
 ) -> Trajectory:
     """Run one episode with the multi-discrete agent."""
     trajectory = Trajectory()
     observation = env.reset(func)
-    for _ in range(max_steps):
+    for _ in range(_step_limit(env.config, max_steps)):
         action, step = agent.act(observation, rng, greedy=greedy)
         result = env.step(action)
         trajectory.steps.append(step)
@@ -63,14 +79,14 @@ def collect_flat_episode(
     agent: FlatActorCritic,
     func: FuncOp,
     rng: np.random.Generator,
-    max_steps: int = 200,
+    max_steps: int | None = None,
 ) -> Trajectory:
     """Run one episode with the flat-action agent (ablation)."""
     from ..env.actions import EnvAction  # local import to avoid a cycle
 
     trajectory = Trajectory()
     observation = env.reset(func)
-    for _ in range(max_steps):
+    for _ in range(_step_limit(env.config, max_steps)):
         num_loops = env.current_schedule().num_loops
         step, choice = agent.act(observation, num_loops, rng)
         flat = agent.table[choice]
@@ -107,10 +123,57 @@ def collect_batch(
     agent: ActorCritic,
     functions: Sequence[FuncOp],
     rng: np.random.Generator,
-    max_steps: int = 200,
+    max_steps: int | None = None,
 ) -> list[Trajectory]:
     """One trajectory per code sample."""
     return [
         collect_episode(env, agent, func, rng, max_steps)
         for func in functions
     ]
+
+
+def collect_episodes_batched(
+    vec_env: "VecMlirRlEnv",
+    agent: ActorCritic,
+    funcs: Sequence[FuncOp],
+    rngs: Sequence[np.random.Generator],
+    max_steps: int | None = None,
+    greedy: bool = False,
+) -> list[Trajectory]:
+    """Run one episode per vec-env slot with batched policy forwards.
+
+    Each vector step runs ONE network forward over every still-active
+    episode (``agent.act_batch``) instead of one per environment.  With
+    per-env generators the sampled trajectories match N sequential
+    :func:`collect_episode` calls on identically-seeded generators.
+    """
+    if len(funcs) != vec_env.num_envs or len(rngs) != vec_env.num_envs:
+        raise ValueError("need one function and one rng per environment")
+    trajectories = [Trajectory() for _ in funcs]
+    vec_obs = vec_env.reset(list(funcs))
+    for _ in range(_step_limit(vec_env.config, max_steps)):
+        indices = [i for i in range(vec_env.num_envs) if vec_obs.active[i]]
+        if not indices:
+            break
+        observations = [vec_obs.observation_of(i) for i in indices]
+        sampled = agent.act_batch(
+            observations, [rngs[i] for i in indices], greedy=greedy
+        )
+        actions: list = [None] * vec_env.num_envs
+        for index, (action, step) in zip(indices, sampled):
+            actions[index] = action
+            trajectories[index].steps.append(step)
+        result = vec_env.step(actions)
+        for index in indices:
+            trajectory = trajectories[index]
+            trajectory.rewards.append(float(result.rewards[index]))
+            trajectory.executions = result.infos[index].get(
+                "executions", trajectory.executions
+            )
+            if result.dones[index]:
+                trajectory.speedup = result.infos[index].get("speedup", 1.0)
+        vec_obs = result.observation
+    for index in range(vec_env.num_envs):
+        if vec_obs.active[index]:
+            trajectories[index].speedup = vec_env.final_speedup(index)
+    return trajectories

@@ -125,6 +125,20 @@ class LoweredNest:
             raise ValueError("empty loop nest")
         return self.loops[-1]
 
+    def fused_skip_ids(self) -> frozenset[int]:
+        """Tensor ids of intermediates absorbed by this nest's fusions.
+
+        The traffic model skips these when timing the nest: the fused
+        producer's output never round-trips through memory.  Shared by
+        every timing consumer so cached and uncached paths cannot
+        diverge.
+        """
+        if not self.fused:
+            return frozenset()
+        return frozenset().union(
+            *(child.intermediate_ids for child in self.fused)
+        )
+
     def loop_iterations_total(self, include_innermost: bool = False) -> int:
         """Sum over loops of their cumulative iteration counts.
 

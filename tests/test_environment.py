@@ -13,7 +13,8 @@ from repro.env import (
 )
 from repro.env.config import InterchangeMode
 from repro.ir import FuncOp, add, empty, matmul, relu, tensor
-from repro.transforms import TransformKind, Tiling
+from repro.machine import CachingExecutor, Executor
+from repro.transforms import TransformKind, Tiling, Vectorization
 
 
 def _matmul_func(m=64, n=64, k=64):
@@ -203,6 +204,188 @@ class TestRewards:
         )
         r2 = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
         assert r2.info["executions"] > r1.info["executions"] >= 2
+
+
+class TestEpisodeTruncation:
+    """Regression: episodes used to run forever under illegal actions."""
+
+    def test_illegal_action_loop_terminates(self):
+        config = small_config(
+            max_episode_steps=10,
+            interchange_mode=InterchangeMode.LEVEL_POINTERS,
+        )
+        env = MlirRlEnv(config=config)
+        env.reset(_matmul_func()[0])
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=0))
+        repeat = EnvAction(TransformKind.INTERCHANGE, pointer_loop=0)
+        for step in range(config.max_episode_steps + 1):
+            result = env.step(repeat)  # always illegal: loop 0 placed
+            if result.done:
+                break
+        else:
+            pytest.fail("illegal-action episode never terminated")
+        assert result.info["truncated"]
+        assert result.info["illegal"]
+        assert result.observation is None
+
+    def test_truncation_delivers_terminal_reward(self):
+        config = small_config(max_episode_steps=1)
+        env = MlirRlEnv(config=config)
+        env.reset(_matmul_func()[0])
+        result = env.step(
+            EnvAction(
+                TransformKind.TILED_PARALLELIZATION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        )
+        assert result.done
+        assert result.info["truncated"]
+        assert result.reward == pytest.approx(
+            math.log(result.info["speedup"])
+        )
+
+    def test_step_after_truncation_raises(self):
+        config = small_config(max_episode_steps=1)
+        env = MlirRlEnv(config=config)
+        env.reset(_matmul_func()[0])
+        env.step(EnvAction(TransformKind.TILING, tile_indices=(2,) * 6))
+        with pytest.raises(RuntimeError):
+            env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+
+    def test_zero_disables_truncation(self):
+        config = small_config(
+            max_episode_steps=0,
+            interchange_mode=InterchangeMode.LEVEL_POINTERS,
+        )
+        env = MlirRlEnv(config=config)
+        env.reset(_matmul_func()[0])
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=0))
+        repeat = EnvAction(TransformKind.INTERCHANGE, pointer_loop=0)
+        for _ in range(20):
+            result = env.step(repeat)
+            assert not result.done
+
+    def test_natural_episode_end_not_marked_truncated(self):
+        env = MlirRlEnv(config=small_config())
+        env.reset(_matmul_func()[0])
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert result.done
+        assert "truncated" not in result.info
+
+    def test_negative_max_episode_steps_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(max_episode_steps=-1)
+
+
+class TestPointerRollback:
+    """Regression: a rejected permutation left stale history rows."""
+
+    def _env(self):
+        config = small_config(
+            interchange_mode=InterchangeMode.LEVEL_POINTERS
+        )
+        env = MlirRlEnv(config=config)
+        func, op = _matmul_func()
+        env.reset(func)
+        return env, op
+
+    def test_rejected_permutation_rolls_back_history(self):
+        env, op = self._env()
+        history = env._history_of(op)
+        before = history.interchange.copy()
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=2))
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=0))
+        # Force the final application to fail: a vectorized op cannot be
+        # interchanged (the only rejection a completed pointer sequence
+        # can hit).
+        env.scheduled.apply(op, Vectorization())
+        result = env.step(
+            EnvAction(TransformKind.INTERCHANGE, pointer_loop=1)
+        )
+        assert result.info["illegal"]
+        assert np.array_equal(history.interchange, before)
+        assert history.step == 0  # clock never advanced
+
+    def test_non_pointer_action_mid_sequence_is_illegal(self):
+        """Abandoning a pointer sequence with another (mask-ignoring)
+        action must not corrupt pointer state or apply anything."""
+        env, op = self._env()
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=2))
+        result = env.step(
+            EnvAction(TransformKind.TILING, tile_indices=(3, 3, 0, 0, 0, 0))
+        )
+        assert result.info["illegal"]
+        assert env.scheduled.schedule_of(op).bands == []  # nothing applied
+        # The sequence is still in progress and can be completed.
+        for loop in (0, 1):
+            result = env.step(
+                EnvAction(TransformKind.INTERCHANGE, pointer_loop=loop)
+            )
+            assert "illegal" not in result.info
+        assert env.scheduled.schedule_of(op).order == [2, 0, 1]
+
+    def test_partial_rows_visible_mid_sequence(self):
+        """The incremental recording itself must keep working."""
+        env, op = self._env()
+        history = env._history_of(op)
+        env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=2))
+        assert history.interchange[0, 0, 2] == 1.0
+
+    def test_applied_permutation_keeps_history(self):
+        env, op = self._env()
+        history = env._history_of(op)
+        for loop in (2, 0, 1):
+            env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=loop))
+        assert history.interchange[0].sum() == 3.0
+        assert history.step == 1
+
+
+class TestTrueSpeedupInfo:
+    """Regression: FINAL mode reported a stale speedup of 1.0 on every
+    intermediate step."""
+
+    def test_intermediate_speedup_is_live_in_final_mode(self):
+        env = MlirRlEnv(config=small_config())
+        func, _ = _matmul_func()
+        env.reset(func)
+        result = env.step(
+            EnvAction(
+                TransformKind.TILED_PARALLELIZATION,
+                tile_indices=(3, 3, 0, 0, 0, 0),
+            )
+        )
+        assert not result.done
+        assert result.reward == 0.0  # FINAL mode: no intermediate reward
+        expected = (
+            env.executor.run_baseline(func).seconds
+            / env.executor.run_scheduled(env.scheduled).seconds
+        )
+        assert result.info["speedup"] == pytest.approx(expected)
+        assert result.info["speedup"] > 1.0
+
+    def test_probe_does_not_count_as_execution(self):
+        env = MlirRlEnv(config=small_config())
+        env.reset(_matmul_func()[0])
+        result = env.step(
+            EnvAction(TransformKind.TILING, tile_indices=(3, 3, 0, 0, 0, 0))
+        )
+        # FINAL mode: only the baseline execution happened so far.
+        assert result.info["executions"] == 1
+
+    def test_cache_stats_surfaced_in_info(self):
+        env = MlirRlEnv(config=small_config())
+        assert isinstance(env.executor, CachingExecutor)
+        env.reset(_matmul_func()[0])
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert "cache" in result.info
+        assert result.info["cache"]["misses"] >= 1
+
+    def test_plain_executor_still_supported(self):
+        env = MlirRlEnv(config=small_config(), executor=Executor())
+        env.reset(_matmul_func()[0])
+        result = env.step(EnvAction(TransformKind.NO_TRANSFORMATION))
+        assert result.done
+        assert "cache" not in result.info
 
 
 class TestFusionThroughEnv:
