@@ -1,0 +1,198 @@
+"""Registry-dispatch benchmark: the pluggable action space must not tax
+the step hot path.
+
+PR 2 replaced the seed's hand-written ``TransformKind`` enum switches
+(decode, masking) with registry-driven dispatch.  This benchmark guards
+the refactor: it times the registry-backed ``decode_action`` +
+``compute_mask`` pair against an inline replica of the seed's
+enum-switch implementations on identical states/actions, and the full
+``env.step()`` loop for absolute context.  The dispatch delta must stay
+within noise of the overall step cost — cost-model execution dominates
+by orders of magnitude.
+"""
+
+import time
+
+import numpy as np
+
+from repro.env import (
+    EnvAction,
+    MlirRlEnv,
+    compute_mask,
+    decode_action,
+    small_config,
+)
+from repro.env.config import InterchangeMode
+from repro.evaluation import write_json
+from repro.ir import FuncOp, matmul, tensor
+from repro.transforms import (
+    Interchange,
+    NoTransformation,
+    ScheduledOp,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    TransformKind,
+    Vectorization,
+    enumerated_candidates,
+)
+
+
+def _matmul_func():
+    a, b, c = tensor([64, 32]), tensor([32, 16]), tensor([64, 16])
+    func = FuncOp("mm", [a, b, c])
+    op = func.append(matmul(a, b, c))
+    func.returns = [op.result()]
+    return func
+
+
+# -- the seed's enum-switch decode, inlined as the reference -----------------
+
+
+def _seed_decode(action, num_loops, config):
+    """The seed's hand-written decode path (enum switch)."""
+    if action.record is not None:
+        return action.record
+    if action.kind is TransformKind.NO_TRANSFORMATION:
+        return NoTransformation()
+    if action.kind is TransformKind.VECTORIZATION:
+        return Vectorization()
+    if action.kind in (
+        TransformKind.TILING,
+        TransformKind.TILED_PARALLELIZATION,
+        TransformKind.TILED_FUSION,
+    ):
+        sizes = []
+        for position in range(num_loops):
+            index = (
+                action.tile_indices[position]
+                if position < len(action.tile_indices)
+                else 0
+            )
+            sizes.append(config.tile_sizes[index])
+        sizes = tuple(sizes)
+        if all(size == 0 for size in sizes):
+            return None
+        if action.kind is TransformKind.TILING:
+            return Tiling(sizes)
+        if action.kind is TransformKind.TILED_PARALLELIZATION:
+            return TiledParallelization(sizes)
+        return TiledFusion(sizes)
+    if action.kind is TransformKind.INTERCHANGE:
+        candidates = enumerated_candidates(config.max_loops)
+        full = candidates[action.interchange_candidate]
+        return Interchange(tuple(full[:num_loops]))
+    raise ValueError(f"unknown action kind {action.kind}")
+
+
+def _sample_actions(config, rng, count=64):
+    """A fixed mixed-action workload (every kind represented)."""
+    actions = []
+    candidates = enumerated_candidates(config.max_loops)
+    for index in range(count):
+        kind = TransformKind(index % 6)
+        if kind in (
+            TransformKind.TILING,
+            TransformKind.TILED_PARALLELIZATION,
+            TransformKind.TILED_FUSION,
+        ):
+            indices = tuple(
+                int(rng.integers(config.num_tile_sizes)) for _ in range(3)
+            )
+            actions.append(EnvAction(kind, tile_indices=indices))
+        elif kind is TransformKind.INTERCHANGE:
+            actions.append(
+                EnvAction(
+                    kind,
+                    interchange_candidate=int(
+                        rng.integers(len(candidates))
+                    ),
+                )
+            )
+        else:
+            actions.append(EnvAction(kind))
+    return actions
+
+
+def _time_per_call(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_registry_dispatch_within_noise(benchmark, results_dir):
+    config = small_config(interchange_mode=InterchangeMode.ENUMERATED)
+    rng = np.random.default_rng(0)
+    actions = _sample_actions(config, rng)
+    schedule = ScheduledOp(
+        matmul(tensor([64, 32]), tensor([32, 16]), tensor([64, 16]))
+    )
+    rounds = 200
+
+    def run_registry():
+        for _ in range(rounds):
+            compute_mask(schedule, config, has_producer=True)
+            for action in actions:
+                decode_action(action, 3, config)
+
+    def run_enum_switch():
+        for _ in range(rounds):
+            compute_mask(schedule, config, has_producer=True)
+            for action in actions:
+                _seed_decode(action, 3, config)
+
+    registry_seconds = _time_per_call(run_registry)
+    enum_seconds = _time_per_call(run_enum_switch)
+    calls = rounds * len(actions)
+    ratio = registry_seconds / enum_seconds
+
+    # Absolute context: a full env.step() pays cost-model execution,
+    # which dwarfs either dispatch flavour.
+    env = MlirRlEnv(config=config)
+    env.reset(_matmul_func())
+    stop = EnvAction(TransformKind.NO_TRANSFORMATION)
+
+    def one_episode():
+        env.reset(_matmul_func())
+        steps = 0
+        done = False
+        while not done:
+            result = env.step(stop)
+            done = result.done
+            steps += 1
+        return steps
+
+    steps = benchmark.pedantic(one_episode, rounds=3, iterations=1)
+    step_seconds = (
+        benchmark.stats.stats.mean / max(steps, 1)
+        if benchmark.stats is not None
+        else 0.0
+    )
+
+    result = {
+        "decode_mask_calls": calls,
+        "registry_us_per_call": registry_seconds / calls * 1e6,
+        "enum_switch_us_per_call": enum_seconds / calls * 1e6,
+        "dispatch_ratio": ratio,
+        "env_step_us": step_seconds * 1e6,
+        "dispatch_share_of_step": (
+            (registry_seconds - enum_seconds) / calls / step_seconds
+            if step_seconds
+            else None
+        ),
+    }
+    print(
+        f"\nregistry dispatch: {result['registry_us_per_call']:.2f} us/call "
+        f"vs enum switch {result['enum_switch_us_per_call']:.2f} us/call "
+        f"(x{ratio:.2f}); env.step ~{result['env_step_us']:.0f} us"
+    )
+    write_json(result, results_dir / "registry_dispatch.json")
+    # Within noise of the seed path: the registry may cost a little more
+    # per decode, but far below the step's execution cost.
+    assert ratio < 3.0
+    if step_seconds:
+        overhead = (registry_seconds - enum_seconds) / calls
+        assert overhead < 0.05 * step_seconds

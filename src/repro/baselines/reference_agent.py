@@ -17,28 +17,17 @@ op affects (its own, plus its not-yet-fused producer's).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from ..env.config import PAPER_CONFIG, EnvConfig
-from ..ir.ops import FuncOp, IteratorType, LinalgOp
+from ..ir.ops import FuncOp, LinalgOp
 from ..machine.timing import nest_time
 from ..transforms.lowering import lower_scheduled_op
 from ..transforms.pipeline import ScheduledFunction
-from ..transforms.records import (
-    Interchange,
-    TiledFusion,
-    TiledParallelization,
-    Tiling,
-    Transformation,
-    Vectorization,
-)
+from ..transforms.records import Transformation
+from ..transforms.registry import spec_for_record, view_for
 from ..transforms.scheduled_op import ScheduledOp, TransformError
-from ..transforms.vectorization import can_vectorize
 from .base import MethodResult, OptimizationMethod
-
-#: Tile sizes explored per position (a subset of the env's candidates).
-_SEARCH_SIZES = (1, 4, 8, 16, 32, 64)
 
 
 @dataclass
@@ -50,25 +39,18 @@ class _BeamState:
     history: list[Transformation] = field(default_factory=list)
 
 
-def _rotation_permutations(num_loops: int) -> list[tuple[int, ...]]:
-    """Permutations rotating each loop to the innermost or outermost
-    position while preserving the relative order of the others."""
-    perms: set[tuple[int, ...]] = set()
-    for position in range(num_loops):
-        rest = [p for p in range(num_loops) if p != position]
-        perms.add(tuple(rest + [position]))   # position -> innermost
-        perms.add(tuple([position] + rest))   # position -> outermost
-    identity = tuple(range(num_loops))
-    perms.discard(identity)
-    return sorted(perms)
-
-
 def candidate_transformations(
     schedule: ScheduledOp,
     has_producer: bool,
     config: EnvConfig,
 ) -> list[Transformation]:
-    """Pruned action candidates for one beam-search expansion."""
+    """Pruned action candidates for one beam-search expansion.
+
+    Registry-derived: every active spec contributes its own pruned
+    candidate set (``TransformSpec.search_candidates``) in the specs'
+    declared search order, so a config that registers extra transforms
+    (e.g. unrolling) is searched over them with no edit here.
+    """
     if schedule.is_terminal():
         return []
     if schedule.num_loops > config.max_loops:
@@ -76,59 +58,10 @@ def candidate_transformations(
         # this op (fixed-size tile heads / features), so it is skipped.
         return []
     candidates: list[Transformation] = []
-    n = schedule.num_loops
-    parallel_positions = [
-        p
-        for p in range(n)
-        if schedule.iterator_type_at(p) is IteratorType.PARALLEL
-        and schedule.extent_at(p) > 1
-    ][:4]
-    tileable_positions = [
-        p for p in range(n) if schedule.extent_at(p) > 1
-    ][:4]
-
-    def tile_vector(positions: tuple[int, ...], size: int) -> tuple[int, ...]:
-        return tuple(
-            size if p in positions else 0 for p in range(n)
+    for spec in view_for(config).by_search_priority():
+        candidates.extend(
+            spec.search_candidates(schedule, has_producer, config)
         )
-
-    has_parallel_band = any(band.parallel for band in schedule.bands)
-    if not has_parallel_band and schedule.fused_into is None:
-        for count in (1, 2, 3):
-            for positions in itertools.combinations(
-                parallel_positions, min(count, len(parallel_positions))
-            ):
-                if len(positions) != count:
-                    continue
-                for size in _SEARCH_SIZES:
-                    if all(size <= schedule.extent_at(p) for p in positions):
-                        candidates.append(
-                            TiledParallelization(tile_vector(positions, size))
-                        )
-
-    if len(schedule.bands) < 2:
-        for count in (1, 2):
-            for positions in itertools.combinations(tileable_positions, count):
-                for size in (4, 8, 32, 64):
-                    if all(size <= schedule.extent_at(p) for p in positions):
-                        candidates.append(
-                            Tiling(tile_vector(positions, size))
-                        )
-
-    if has_producer:
-        for size in (8, 32):
-            positions = tuple(parallel_positions[:2])
-            if positions and all(
-                size <= schedule.extent_at(p) for p in positions
-            ):
-                candidates.append(TiledFusion(tile_vector(positions, size)))
-
-    if n >= 2 and n <= config.max_loops:
-        for perm in _rotation_permutations(n):
-            candidates.append(Interchange(perm))
-
-    if can_vectorize(schedule):
-        candidates.append(Vectorization())
     return candidates
 
 
@@ -207,10 +140,13 @@ class BeamSearchAgent(OptimizationMethod):
                         clone.apply(op, record)
                     except TransformError:
                         continue
+                    record_spec = spec_for_record(type(record))
                     new_state = _BeamState(
                         scheduled=clone,
                         steps=state.steps + 1,
-                        terminal=isinstance(record, Vectorization),
+                        terminal=bool(
+                            record_spec is not None and record_spec.ends_op
+                        ),
                         score=self._local_seconds(clone, op),
                         history=state.history + [record],
                     )

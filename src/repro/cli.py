@@ -92,14 +92,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     from .datasets import training_sampler
     from .env import MlirRlEnv, small_config
-    from .rl import ActorCritic, PPOConfig, PPOTrainer, save_agent
+    from .rl import PPOConfig, get_backend, save_agent
 
     config = small_config()
+    if args.transforms:
+        from .transforms.registry import actionable_transforms
+
+        extra = tuple(
+            name.strip() for name in args.transforms.split(",") if name.strip()
+        )
+        known = actionable_transforms()
+        unknown = [name for name in extra if name not in known]
+        if unknown:
+            print(
+                f"unknown or record-only transformation(s) "
+                f"{', '.join(unknown)}; available: {', '.join(sorted(known))}"
+            )
+            return 1
+        config = config.with_transforms(*extra)
+    if args.action_space == "flat" and args.num_envs > 1:
+        print(
+            "--action-space flat collects sequentially and does not "
+            "support --num-envs > 1; drop --num-envs or use "
+            "--action-space hierarchical"
+        )
+        return 1
     rng = np.random.default_rng(args.seed)
-    agent = ActorCritic(config, rng, hidden_size=args.hidden)
+    backend = get_backend(args.action_space, config)
+    agent = backend.build_agent(rng, hidden_size=args.hidden)
     env = MlirRlEnv(config=config)
     sampler = training_sampler(scale=args.scale, seed=args.seed)
-    trainer = PPOTrainer(
+    trainer = backend.trainer(
         env,
         agent,
         sampler,
@@ -162,6 +185,17 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    """argparse type: an integer >= 1 with a clear error message."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, got {number} (1 = sequential collection, "
+            "N > 1 = batched vec-env rollouts)"
+        )
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MLIR RL reproduction CLI"
@@ -182,11 +216,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--samples", type=int, default=8)
     train.add_argument(
         "--num-envs",
-        type=int,
+        type=_positive_int,
         default=1,
-        help="episodes collected concurrently; >1 opts into batched "
-        "rollouts (RNG consumption differs from sequential, so "
-        "checkpoints are not seed-identical across values)",
+        help="episodes collected concurrently (must be >= 1); >1 opts "
+        "into batched rollouts (RNG consumption differs from "
+        "sequential, so checkpoints are not seed-identical across "
+        "values)",
+    )
+    train.add_argument(
+        "--action-space",
+        choices=("hierarchical", "flat"),
+        default="hierarchical",
+        help="action-space backend: the paper's multi-discrete heads "
+        "or the flat §VII-D ablation",
+    )
+    train.add_argument(
+        "--transforms",
+        default="",
+        help="comma-separated extra registered transformations to "
+        "append to the paper's six (e.g. 'unrolling'); default "
+        "action space is unchanged",
     )
     train.add_argument("--hidden", type=int, default=64)
     train.add_argument("--scale", type=float, default=0.01)

@@ -12,9 +12,11 @@ from .actions import (
 )
 from .config import (
     PAPER_CONFIG,
+    PAPER_TRANSFORMS,
     EnvConfig,
     InterchangeMode,
     RewardMode,
+    extended_config,
     small_config,
 )
 from .environment import MlirRlEnv, Observation, StepResult
@@ -49,6 +51,7 @@ __all__ = [
     "Observation",
     "OP_TYPE_ORDER",
     "PAPER_CONFIG",
+    "PAPER_TRANSFORMS",
     "RewardMode",
     "RewardModel",
     "RewardState",
@@ -59,6 +62,7 @@ __all__ = [
     "VecStepResult",
     "compute_mask",
     "decode_action",
+    "extended_config",
     "feature_size",
     "flat_action_table",
     "flat_space",

@@ -1,35 +1,36 @@
-"""Agent-facing actions and their decoding to transformation records.
+"""Agent-facing actions, decoded through the transform registry.
 
-The multi-discrete action (paper §IV-A1) is the Cartesian product of:
+The multi-discrete action (paper §IV-A1) is the Cartesian product of a
+categorical over the active transformations and one component per
+registered sub-action *slot*.  With the paper's default registry view
+that is exactly the seed layout:
 
 * a categorical over the six transformation options;
 * N categorical distributions (one per loop level) over the M candidate
-  tile sizes — used by the three tiled transformations;
-* an interchange sub-action: either one choice among the enumerated swap
+  tile sizes — the single ``tiles`` slot shared by the three tiled
+  transformations;
+* an interchange sub-action: one choice among the enumerated swap
   candidates, or one *level pointer* per sub-step.
 
+Configs that activate extra plugins (e.g. ``unrolling``) grow the
+transformation head and append the plugin's slot; nothing here is
+hard-coded to the six-way product anymore — shapes, decoding and the
+flat table below all derive from :func:`repro.transforms.registry.
+view_for`.
+
 The flat action space used by the §VII-D ablation enumerates
-(transformation, parameter) combinations directly: single-level tilings
-for each tiled transformation, the swap candidates, vectorization and
-no-transformation.
+(transformation, parameter) combinations directly; each registered
+spec contributes its own block of entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..transforms.interchange import enumerated_candidates
-from ..transforms.records import (
-    Interchange,
-    NoTransformation,
-    TiledFusion,
-    TiledParallelization,
-    Tiling,
-    TransformKind,
-    Transformation,
-    Vectorization,
-)
-from .config import EnvConfig, InterchangeMode
+from ..transforms.records import Transformation
+from ..transforms.registry import get_spec, view_for
+from ..transforms.registry import interchange_head_size as _head_size
+from .config import EnvConfig
 from .spaces import Discrete, MultiDiscrete
 
 
@@ -37,27 +38,39 @@ from .spaces import Discrete, MultiDiscrete
 class EnvAction:
     """One sampled action.
 
-    ``tile_indices`` indexes ``config.tile_sizes`` per loop position (for
-    tiled transformations); ``interchange_candidate`` indexes the
-    enumerated swap list; ``pointer_loop`` is the loop chosen by the
-    current level-pointer sub-step.  ``record`` optionally carries a
-    pre-decoded transformation (used by the flat-action agent and search
-    baselines) and bypasses decoding entirely.
+    ``kind`` is the transformation-head index for the active config
+    (:class:`~repro.transforms.records.TransformKind` members for the
+    default view, any registry kind otherwise).  ``tile_indices``
+    indexes ``config.tile_sizes`` per loop position (per-level heads);
+    ``interchange_candidate`` indexes the enumerated swap list;
+    ``pointer_loop`` is the loop chosen by the current level-pointer
+    sub-step; ``choice`` carries the sub-action of any other
+    single-categorical head (e.g. the unroll factor).  ``record``
+    optionally carries a pre-decoded transformation (used by the
+    flat-action agent and search baselines) and bypasses decoding
+    entirely.
     """
 
-    kind: TransformKind
+    kind: int
     tile_indices: tuple[int, ...] | None = None
     interchange_candidate: int | None = None
     pointer_loop: int | None = None
+    choice: int | None = None
     record: Transformation | None = None
 
     def __str__(self) -> str:
+        if self.record is not None:
+            # Pre-decoded actions (flat agent, baselines) print their
+            # record, not a bare kind — eval logs stay unambiguous.
+            return str(self.record)
         if self.tile_indices is not None:
             return f"{self.kind}{list(self.tile_indices)}"
         if self.interchange_candidate is not None:
             return f"{self.kind}#candidate{self.interchange_candidate}"
         if self.pointer_loop is not None:
             return f"{self.kind}->loop{self.pointer_loop}"
+        if self.choice is not None:
+            return f"{self.kind}#choice{self.choice}"
         return str(self.kind)
 
 
@@ -77,45 +90,14 @@ def decode_action(
 ) -> Transformation | None:
     """Decode an EnvAction into a transformation record.
 
-    Returns None for level-pointer sub-steps (the environment assembles
-    the full permutation across steps) and for all-zero tilings (a
-    no-op that still consumes a step).
+    Dispatches to the registered spec of ``action.kind``.  Returns None
+    for sub-steps that consume a step without producing a record
+    (level-pointer interchange sub-steps, all-zero tilings).
     """
     if action.record is not None:
         return action.record
-    if action.kind is TransformKind.NO_TRANSFORMATION:
-        return NoTransformation()
-    if action.kind is TransformKind.VECTORIZATION:
-        return Vectorization()
-    if action.kind in (
-        TransformKind.TILING,
-        TransformKind.TILED_PARALLELIZATION,
-        TransformKind.TILED_FUSION,
-    ):
-        if action.tile_indices is None:
-            raise ValueError(f"{action.kind} requires tile indices")
-        sizes = tile_sizes_from_indices(
-            action.tile_indices, num_loops, config
-        )
-        if all(size == 0 for size in sizes):
-            return None
-        if action.kind is TransformKind.TILING:
-            return Tiling(sizes)
-        if action.kind is TransformKind.TILED_PARALLELIZATION:
-            return TiledParallelization(sizes)
-        return TiledFusion(sizes)
-    if action.kind is TransformKind.INTERCHANGE:
-        if config.interchange_mode is InterchangeMode.ENUMERATED:
-            if action.interchange_candidate is None:
-                raise ValueError("enumerated interchange requires a candidate")
-            # The head (and its mask) enumerate candidates over the padded
-            # max_loops space; truncate to this op's depth.  Masking
-            # guarantees the moved positions are below num_loops.
-            candidates = enumerated_candidates(config.max_loops)
-            full = candidates[action.interchange_candidate]
-            return Interchange(tuple(full[:num_loops]))
-        return None  # level pointers: assembled by the environment
-    raise ValueError(f"unknown action kind {action.kind}")
+    spec = view_for(config).spec_at(action.kind)
+    return spec.decode(action, num_loops, config)
 
 
 # ---------------------------------------------------------------------------
@@ -124,25 +106,24 @@ def decode_action(
 
 
 def multi_discrete_space(config: EnvConfig) -> MultiDiscrete:
-    """The agent's sub-action dimensions.
+    """The agent's sub-action dimensions, derived from the registry.
 
-    Layout: (transformation, tile index per level ... , interchange).
-    The interchange component is over the enumerated candidates or over
-    N loops for level pointers.
+    Layout: (transformation, then one block per distinct sub-action
+    slot).  The default view yields the paper's layout —
+    (transformation, tile index per level ..., interchange).
     """
-    n = config.max_loops
-    m = config.num_tile_sizes
-    if config.interchange_mode is InterchangeMode.ENUMERATED:
-        interchange_n = max(3 * n - 6, 1)
-    else:
-        interchange_n = n
-    return MultiDiscrete((config.num_transformations, *([m] * n), interchange_n))
+    view = view_for(config)
+    dims: list[int] = [len(view)]
+    for slot in view.slots(config):
+        if slot.rows:
+            dims.extend([slot.cols] * slot.rows)
+        else:
+            dims.append(slot.cols)
+    return MultiDiscrete(tuple(dims))
 
 
 def interchange_head_size(config: EnvConfig) -> int:
-    if config.interchange_mode is InterchangeMode.ENUMERATED:
-        return max(3 * config.max_loops - 6, 1)
-    return config.max_loops
+    return _head_size(config)
 
 
 # ---------------------------------------------------------------------------
@@ -153,55 +134,43 @@ def interchange_head_size(config: EnvConfig) -> int:
 @dataclass(frozen=True)
 class FlatAction:
     """One entry of the flat action space: a fixed (transformation,
-    parameters) combination."""
+    parameters) combination contributed by ``spec_name``'s registered
+    spec."""
 
-    kind: TransformKind
+    kind: int
     level: int = -1
     tile_size: int = 0
     permutation: tuple[int, ...] = ()
+    choice: int = -1       # choice-head index (e.g. unroll factor slot)
+    factor: int = 0        # concrete unroll factor for choice entries
+    spec_name: str = ""
+
+    def _spec(self):
+        if self.spec_name:
+            return get_spec(self.spec_name)
+        # Entries constructed by hand with a bare TransformKind: map the
+        # paper kinds onto their builtin spec names.
+        from .config import PAPER_TRANSFORMS
+
+        return get_spec(PAPER_TRANSFORMS[int(self.kind)])
 
     def to_record(self, num_loops: int) -> Transformation:
-        if self.kind is TransformKind.NO_TRANSFORMATION:
-            return NoTransformation()
-        if self.kind is TransformKind.VECTORIZATION:
-            return Vectorization()
-        if self.kind is TransformKind.INTERCHANGE:
-            return Interchange(self.permutation)
-        sizes = tuple(
-            self.tile_size if position == self.level else 0
-            for position in range(num_loops)
-        )
-        if self.kind is TransformKind.TILING:
-            return Tiling(sizes)
-        if self.kind is TransformKind.TILED_PARALLELIZATION:
-            return TiledParallelization(sizes)
-        return TiledFusion(sizes)
+        return self._spec().flat_record(self, num_loops)
 
 
 def flat_action_table(config: EnvConfig) -> list[FlatAction]:
-    """Enumerate the flat action space.
+    """Enumerate the flat action space from the registry.
 
-    Single-level tilings per (transformation, level, size), the swap
-    candidates, then the terminal actions.  With the paper's N=12, M=8
-    this yields hundreds of actions — the "high number of actions" the
-    ablation refers to.
+    Each active spec contributes its block in head order; the default
+    view reproduces the seed table — single-level tilings per
+    (transformation, level, size), the swap candidates, then the
+    terminal actions.  With the paper's N=12, M=8 this yields hundreds
+    of actions — the "high number of actions" the ablation refers to.
     """
+    view = view_for(config)
     actions: list[FlatAction] = []
-    tiled_kinds = (
-        TransformKind.TILING,
-        TransformKind.TILED_PARALLELIZATION,
-        TransformKind.TILED_FUSION,
-    )
-    for kind in tiled_kinds:
-        for level in range(config.max_loops):
-            for size in config.tile_sizes[1:]:
-                actions.append(FlatAction(kind, level=level, tile_size=size))
-    for perm in enumerated_candidates(config.max_loops):
-        actions.append(
-            FlatAction(TransformKind.INTERCHANGE, permutation=perm)
-        )
-    actions.append(FlatAction(TransformKind.VECTORIZATION))
-    actions.append(FlatAction(TransformKind.NO_TRANSFORMATION))
+    for spec, kind in view.items():
+        actions.extend(spec.flat_entries(config, kind))
     return actions
 
 

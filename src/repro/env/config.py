@@ -5,11 +5,17 @@ Paper defaults (§VII-A5): up to 12 loop levels, 8 candidate tile sizes
 rank up to 12, and schedule length 5.  Tests and training-curve
 benchmarks use smaller configs for wall-clock sanity; the constructor
 only fixes vector sizes, never semantics.
+
+The action space itself is configuration: ``transforms`` names the
+active :mod:`repro.transforms.registry` specs in head order.  The
+default is the paper's six transformations, so observation sizes, masks
+and checkpoints are unchanged unless a config opts into extra plugins
+(e.g. ``extended_config("unrolling")``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from enum import Enum
 
 
@@ -25,6 +31,18 @@ class RewardMode(Enum):
 
     FINAL = "final"
     IMMEDIATE = "immediate"
+
+
+#: The paper's six transformations in head order — the default action
+#: space.  Names refer to :mod:`repro.transforms.registry` specs.
+PAPER_TRANSFORMS: tuple[str, ...] = (
+    "tiling",
+    "tiled_parallelization",
+    "tiled_fusion",
+    "interchange",
+    "vectorization",
+    "no_transformation",
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +66,13 @@ class EnvConfig:
     #: backstop sized far above any legal paper-scale episode
     #: (tau=5 x N=12 x ~60 ops).
     max_episode_steps: int = 4096
+    #: Active transformations in transformation-head order.  Names
+    #: resolve against the global transform registry when the view is
+    #: built; position is the head index the policy/masks/actions use.
+    transforms: tuple[str, ...] = PAPER_TRANSFORMS
+    #: Unroll-factor candidates of the ``unrolling`` plugin (ignored
+    #: unless ``"unrolling"`` appears in ``transforms``).
+    unroll_factors: tuple[int, ...] = (2, 4, 8)
 
     @property
     def num_tile_sizes(self) -> int:
@@ -55,7 +80,7 @@ class EnvConfig:
 
     @property
     def num_transformations(self) -> int:
-        return 6
+        return len(self.transforms)
 
     def __post_init__(self) -> None:
         if self.tile_sizes[0] != 0:
@@ -66,6 +91,17 @@ class EnvConfig:
             raise ValueError("need at least two loop levels")
         if self.max_episode_steps < 0:
             raise ValueError("max_episode_steps must be >= 0 (0 disables)")
+        if not self.transforms:
+            raise ValueError("need at least one active transformation")
+        if len(set(self.transforms)) != len(self.transforms):
+            raise ValueError(f"duplicate transforms in {self.transforms}")
+        if any(factor < 2 for factor in self.unroll_factors):
+            raise ValueError("unroll factors must be >= 2")
+
+    def with_transforms(self, *extra: str) -> "EnvConfig":
+        """This config with ``extra`` transforms appended to the head."""
+        added = tuple(t for t in extra if t not in self.transforms)
+        return replace(self, transforms=(*self.transforms, *added))
 
 
 def small_config(**overrides) -> EnvConfig:
@@ -79,6 +115,11 @@ def small_config(**overrides) -> EnvConfig:
     )
     defaults.update(overrides)
     return EnvConfig(**defaults)
+
+
+def extended_config(*extra: str, **overrides) -> EnvConfig:
+    """A :func:`small_config` with extra registered transforms active."""
+    return small_config(**overrides).with_transforms(*extra)
 
 
 #: The configuration used throughout the paper's experiments.

@@ -5,8 +5,13 @@ from consumers to producers (reversed body order, following producer
 links first) because linalg fusion has limited ability to fuse a
 modified producer — starting at the consumer preserves fusion
 opportunities.  The agent applies at most ``tau`` transformations per
-operation; vectorization and no-transformation end the current
-operation.
+operation; terminal actions (vectorization, no-transformation) end the
+current operation.
+
+The action space is registry-derived: :meth:`step` looks the sampled
+kind up in the config's :func:`~repro.transforms.registry.view_for`
+view and defers decoding, multi-step sub-sequences and termination
+semantics to the spec — adding a transformation requires no edit here.
 
 Observations are the Fig. 1 representation vectors of the current
 consumer and its (last) producer plus the action masks.  Rewards are
@@ -38,14 +43,11 @@ from ..ir.ops import FuncOp, LinalgOp
 from ..machine.executor import Executor
 from ..machine.service import CachingExecutor
 from ..transforms.pipeline import ScheduledFunction
-from ..transforms.records import (
-    Interchange,
-    TransformKind,
-    Transformation,
-)
+from ..transforms.records import Transformation
+from ..transforms.registry import view_for
 from ..transforms.scheduled_op import ScheduledOp, TransformError
 from .actions import EnvAction, decode_action
-from .config import EnvConfig, InterchangeMode, PAPER_CONFIG, RewardMode
+from .config import EnvConfig, PAPER_CONFIG, RewardMode
 from .features import feature_size, op_features, zero_features
 from .history import ActionHistory
 from .masking import ActionMask, compute_mask
@@ -84,6 +86,7 @@ class MlirRlEnv:
         executor: Executor | None = None,
     ):
         self.config = config
+        self._view = view_for(config)
         self.executor = executor or CachingExecutor()
         self.reward_model = RewardModel(self.executor, config.reward_mode)
         self._provider = benchmark_provider
@@ -92,6 +95,7 @@ class MlirRlEnv:
         self._histories: dict[int, ActionHistory] = {}
         self._visited: set[int] = set()
         self._current: LinalgOp | None = None
+        #: pending loops of a multi-step sub-sequence (level pointers)
         self._pointer_placed: list[int] = []
         self._reward_state: RewardState | None = None
         self._episode_steps = 0
@@ -196,23 +200,21 @@ class MlirRlEnv:
         history = self._history_of(self._current)
         info: dict = {"action": str(action), "op": self._current.name}
         self._episode_steps += 1
+        spec = self._view.spec_at(action.kind)
 
         done_with_op = False
         applied: Transformation | None = None
         illegal = False
 
-        if (
-            self.config.interchange_mode is InterchangeMode.LEVEL_POINTERS
-            and action.kind is TransformKind.INTERCHANGE
-            and action.record is None
-        ):
-            done_with_op, applied, illegal = self._pointer_step(
-                schedule, history, action
+        if action.record is None and spec.is_multistep(self.config):
+            done_with_op, applied, illegal = spec.multistep(
+                self, schedule, history, action
             )
         elif self._pointer_placed:
-            # Mid pointer sequence the mask forces continuation; any other
-            # action would leave the partial permutation rows and pointer
-            # state inconsistent, so it is illegal (nothing is applied).
+            # Mid multi-step sub-sequence the mask forces continuation;
+            # any other action would leave the partial sub-action rows
+            # and pointer state inconsistent, so it is illegal (nothing
+            # is applied).
             info["error"] = "interchange pointer sequence in progress"
             illegal = True
         else:
@@ -228,10 +230,7 @@ class MlirRlEnv:
                 except TransformError as error:
                     info["error"] = str(error)
                     illegal = True
-            if action.kind in (
-                TransformKind.NO_TRANSFORMATION,
-                TransformKind.VECTORIZATION,
-            ):
+            if spec.ends_op:
                 done_with_op = not illegal
 
         if applied is not None:
@@ -329,42 +328,6 @@ class MlirRlEnv:
         self, schedule: ScheduledOp, action: EnvAction
     ) -> Transformation | None:
         return decode_action(action, schedule.num_loops, self.config)
-
-    def _pointer_step(
-        self,
-        schedule: ScheduledOp,
-        history: ActionHistory,
-        action: EnvAction,
-    ) -> tuple[bool, Transformation | None, bool]:
-        """One level-pointer sub-step (paper Appendix B).
-
-        Returns (done_with_op, applied_record, illegal).
-        """
-        loop = action.pointer_loop
-        if loop is None or not (0 <= loop < schedule.num_loops):
-            return False, None, True
-        if loop in self._pointer_placed:
-            return False, None, True
-        position = len(self._pointer_placed)
-        self._pointer_placed.append(loop)
-        history.record_partial_interchange(position, loop)
-        if len(self._pointer_placed) < schedule.num_loops:
-            return False, None, False
-        # Permutation complete: apply it as one interchange record.
-        record = Interchange(tuple(self._pointer_placed))
-        try:
-            assert self.scheduled is not None and self._current is not None
-            self.scheduled.apply(self._current, record)
-        except TransformError:
-            # The permutation was never applied: erase the partial one-hot
-            # rows so later observations don't describe a phantom
-            # interchange.
-            history.rollback_partial_interchange(self._pointer_placed)
-            self._pointer_placed = []
-            return False, None, True
-        history.record(record)
-        self._pointer_placed = []
-        return False, record, False
 
     # -- conveniences --------------------------------------------------------------
 

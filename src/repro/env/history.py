@@ -8,7 +8,12 @@ Per-transformation one-hot matrices indexed by time step:
 * interchange: a ``tau x N x N`` tensor — slice ``[t, i, n]`` is 1 when
   step ``t`` placed loop ``n`` at position ``i``; level-pointer sub-steps
   fill rows incrementally so the agent can see the partial permutation;
-* terminal actions (vectorization / no-transformation) record nothing.
+* terminal actions (vectorization / no-transformation) record nothing;
+* registered plugin transforms that declare a
+  :meth:`~repro.transforms.registry.TransformSpec.history_shape` get an
+  extra ``tau x shape`` tensor appended (e.g. the unroll-factor one-hot),
+  so the observation layout stays registry-derived — and unchanged for
+  the default view.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from ..transforms.records import (
     Tiling,
     Transformation,
 )
+from ..transforms.registry import spec_for_record, view_for
 from .config import EnvConfig
 
 
@@ -39,6 +45,14 @@ class ActionHistory:
         self.parallelization = np.zeros((tau, n, m), dtype=np.float32)
         self.fusion = np.zeros((tau, n, m), dtype=np.float32)
         self.interchange = np.zeros((tau, n, n), dtype=np.float32)
+        #: plugin history slots, in registry-view order
+        self.extras: dict[str, np.ndarray] = {}
+        for spec in view_for(config):
+            shape = spec.history_shape(config)
+            if shape:
+                self.extras[spec.name] = np.zeros(
+                    (tau, *shape), dtype=np.float32
+                )
         self.step = 0
 
     def _tile_index(self, size: int) -> int:
@@ -76,6 +90,11 @@ class ActionHistory:
                 if position >= self.config.max_loops:
                     break
                 self.interchange[self.step, position, loop] = 1.0
+        else:
+            # Plugin records write into their declared extra slot.
+            spec = spec_for_record(type(transform))
+            if spec is not None and spec.name in self.extras:
+                spec.record_history(self, transform)
         self.step += 1
 
     def record_noop(self) -> None:
@@ -112,18 +131,26 @@ class ActionHistory:
 
     def flatten(self) -> np.ndarray:
         """Concatenate all history tensors into one feature vector."""
-        return np.concatenate(
-            [
-                self.tiling.ravel(),
-                self.parallelization.ravel(),
-                self.fusion.ravel(),
-                self.interchange.ravel(),
-            ]
-        )
+        parts = [
+            self.tiling.ravel(),
+            self.parallelization.ravel(),
+            self.fusion.ravel(),
+            self.interchange.ravel(),
+        ]
+        parts.extend(extra.ravel() for extra in self.extras.values())
+        return np.concatenate(parts)
 
     @staticmethod
     def feature_size(config: EnvConfig) -> int:
         tau = config.max_schedule_length
         n = config.max_loops
         m = config.num_tile_sizes
-        return 3 * tau * n * m + tau * n * n
+        size = 3 * tau * n * m + tau * n * n
+        for spec in view_for(config):
+            shape = spec.history_shape(config)
+            if shape:
+                extra = tau
+                for dim in shape:
+                    extra *= dim
+                size += extra
+        return size

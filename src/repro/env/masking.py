@@ -1,8 +1,12 @@
-"""Action masks (paper §IV-A2).
+"""Action masks (paper §IV-A2), derived from the transform registry.
 
 Not every action is valid in every state.  The environment computes
 boolean masks from the current schedule state and hands them to the
-policy, which renormalizes its distributions over the legal subset:
+policy, which renormalizes its distributions over the legal subset.
+Each registered :class:`~repro.transforms.registry.TransformSpec`
+contributes its own legality predicate and sub-action mask, so
+:func:`compute_mask` contains no transform-specific code; with the
+default view the masks are the paper's:
 
 * vectorization is masked when the innermost loop exceeds 512 iterations
   (MLIR fully unrolls it) or the op class fails the vectorizer's
@@ -20,82 +24,50 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..transforms.interchange import enumerated_candidates
 from ..transforms.records import TransformKind
+from ..transforms.registry import MaskContext, view_for
 from ..transforms.scheduled_op import ScheduledOp
-from ..transforms.tiling import legal_tile_positions
-from ..transforms.vectorization import can_vectorize
-from .actions import interchange_head_size
-from .config import EnvConfig, InterchangeMode
+from .config import EnvConfig
 
 
 @dataclass
 class ActionMask:
-    """Masks for every policy head; True = legal."""
+    """Masks for every policy head; True = legal.
 
-    transformation: np.ndarray          # (6,)
-    tile_tiling: np.ndarray             # (N, M) for Tiling / TiledFusion
-    tile_parallel: np.ndarray           # (N, M) for TiledParallelization
-    interchange: np.ndarray             # (3N-6,) or (N,)
-    forced_interchange: bool = False    # mid level-pointer sequence
+    ``params`` maps sub-action mask keys to their arrays — for the
+    default registry view: ``"tiles"`` (N, M; tiling and tiled fusion),
+    ``"tiles_parallel"`` (N, M), and ``"interchange"`` (3N-6 or N).
+    The seed's named accessors remain as properties.
+    """
 
-    def legal_transformations(self) -> list[TransformKind]:
+    transformation: np.ndarray            # (num active transforms,)
+    params: dict[str, np.ndarray] = field(default_factory=dict)
+    forced_interchange: bool = False      # mid multi-step sub-sequence
+    kinds: tuple = ()                     # head-index -> registry kind
+
+    @property
+    def tile_tiling(self) -> np.ndarray:
+        return self.params["tiles"]
+
+    @property
+    def tile_parallel(self) -> np.ndarray:
+        return self.params["tiles_parallel"]
+
+    @property
+    def interchange(self) -> np.ndarray:
+        return self.params["interchange"]
+
+    def legal_transformations(self) -> list:
+        """Legal registry kinds — :class:`TransformKind` members for the
+        default view."""
+        kinds = self.kinds or tuple(
+            TransformKind(i) for i in range(len(self.transformation))
+        )
         return [
-            TransformKind(i)
+            kinds[i]
             for i, legal in enumerate(self.transformation)
             if legal
         ]
-
-
-def _tile_size_mask(
-    schedule: ScheduledOp, config: EnvConfig, parallel: bool
-) -> np.ndarray:
-    """(N, M) mask of legal tile-size candidates per loop position.
-
-    Candidate 0 (no tiling) is always legal; a non-zero candidate is
-    legal when the position may be tiled and the size does not exceed
-    the current extent.
-    """
-    n = config.max_loops
-    mask = np.zeros((n, config.num_tile_sizes), dtype=bool)
-    mask[:, 0] = True
-    positions = legal_tile_positions(schedule, parallel)
-    for position in range(min(schedule.num_loops, n)):
-        if not positions[position]:
-            continue
-        extent = schedule.extent_at(position)
-        for index, size in enumerate(config.tile_sizes):
-            if index == 0:
-                continue
-            if size <= extent:
-                mask[position, index] = True
-    return mask
-
-
-def _interchange_mask(
-    schedule: ScheduledOp,
-    config: EnvConfig,
-    pointer_placed: tuple[int, ...],
-) -> np.ndarray:
-    size = interchange_head_size(config)
-    mask = np.zeros(size, dtype=bool)
-    num_loops = schedule.num_loops
-    if num_loops > config.max_loops:
-        # Deeper than the head can express: interchange unavailable.
-        return mask
-    if config.interchange_mode is InterchangeMode.ENUMERATED:
-        # Real candidates for this op's depth come first in the padded
-        # head; candidates touching positions beyond num_loops are masked.
-        padded = enumerated_candidates(config.max_loops)
-        for index, perm in enumerate(padded):
-            moved = [p for p, q in enumerate(perm) if p != q]
-            if all(p < num_loops for p in moved):
-                mask[index] = True
-        return mask
-    for loop in range(min(num_loops, size)):
-        if loop not in pointer_placed:
-            mask[loop] = True
-    return mask
 
 
 def compute_mask(
@@ -105,52 +77,42 @@ def compute_mask(
     pointer_placed: tuple[int, ...] = (),
     in_pointer_sequence: bool = False,
 ) -> ActionMask:
-    """The full action mask for the current state."""
-    n_options = config.num_transformations
-    transformation = np.zeros(n_options, dtype=bool)
-    if schedule.num_loops > config.max_loops:
-        # Deeper than the representation and action heads can express
-        # (N = 12 in the paper): the system cannot transform this op.
-        transformation[TransformKind.NO_TRANSFORMATION] = True
-        n = config.max_loops
-        empty_tiles = np.zeros((n, config.num_tile_sizes), dtype=bool)
-        empty_tiles[:, 0] = True
-        return ActionMask(
-            transformation,
-            empty_tiles,
-            empty_tiles.copy(),
-            np.zeros(interchange_head_size(config), dtype=bool),
-        )
-    tile_tiling = _tile_size_mask(schedule, config, parallel=False)
-    tile_parallel = _tile_size_mask(schedule, config, parallel=True)
-    interchange = _interchange_mask(schedule, config, pointer_placed)
+    """The full action mask for the current state.
 
-    if in_pointer_sequence:
-        transformation[TransformKind.INTERCHANGE] = True
-        return ActionMask(
-            transformation,
-            tile_tiling,
-            tile_parallel,
-            interchange,
-            forced_interchange=True,
-        )
-
-    terminal = schedule.is_terminal()
-    if not terminal:
-        any_tile = bool(tile_tiling[: schedule.num_loops, 1:].any())
-        any_parallel_tile = bool(
-            tile_parallel[: schedule.num_loops, 1:].any()
-        )
-        transformation[TransformKind.TILING] = any_tile
-        transformation[TransformKind.TILED_PARALLELIZATION] = (
-            any_parallel_tile and schedule.fused_into is None
-        )
-        transformation[TransformKind.TILED_FUSION] = any_tile and has_producer
-        transformation[TransformKind.INTERCHANGE] = (
-            schedule.num_loops >= 2 and bool(interchange.any())
-        )
-        transformation[TransformKind.VECTORIZATION] = can_vectorize(schedule)
-    transformation[TransformKind.NO_TRANSFORMATION] = True
-    return ActionMask(
-        transformation, tile_tiling, tile_parallel, interchange
+    Generic over the registry view: every active spec computes its
+    sub-action mask, then either one spec forces continuation of a
+    multi-step sub-sequence or each spec's legality predicate fills the
+    transformation head.
+    """
+    view = view_for(config)
+    ctx = MaskContext(
+        schedule,
+        config,
+        has_producer,
+        tuple(pointer_placed),
+        in_pointer_sequence,
     )
+    params: dict[str, np.ndarray] = {}
+    heads = {}
+    for spec in view:
+        head = spec.head(config)
+        heads[spec.name] = head
+        if head is None or head.mask_key in params:
+            continue
+        params[head.mask_key] = spec.param_mask(ctx)
+
+    transformation = np.zeros(len(view), dtype=bool)
+    for index, spec in enumerate(view):
+        if spec.forces_continuation(ctx):
+            transformation[index] = True
+            return ActionMask(
+                transformation,
+                params,
+                forced_interchange=True,
+                kinds=view.kinds,
+            )
+    for index, spec in enumerate(view):
+        head = heads[spec.name]
+        param = params.get(head.mask_key) if head is not None else None
+        transformation[index] = spec.is_legal(ctx, param)
+    return ActionMask(transformation, params, kinds=view.kinds)

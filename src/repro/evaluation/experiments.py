@@ -38,8 +38,9 @@ from ..env.config import (
     small_config,
 )
 from ..env.environment import MlirRlEnv
-from ..rl.agent import ActorCritic, FlatActorCritic
-from ..rl.ppo import FlatPPOTrainer, PPOConfig, PPOTrainer
+from ..rl.agent import ActorCritic
+from ..rl.backends import get_backend
+from ..rl.ppo import PPOConfig, PPOTrainer
 from ..rl.rollout import collect_episode
 from ..transforms.pipeline import ScheduledFunction
 from .runner import SuiteResult, geomean, run_function, run_operator_suite
@@ -123,23 +124,19 @@ def run_fig6(iterations: int = 6, seed: int = 0) -> dict:
     config = small_config(interchange_mode=InterchangeMode.ENUMERATED)
     rng = np.random.default_rng(seed)
 
-    env_md, sampler = _mini_training_setup(config, seed)
-    agent_md = ActorCritic(config, rng, hidden_size=64)
-    trainer_md = PPOTrainer(env_md, agent_md, sampler, _ppo_config(), seed)
-    history_md = trainer_md.train(iterations)
-
-    env_flat, sampler_flat = _mini_training_setup(config, seed)
-    agent_flat = FlatActorCritic(config, rng, hidden_size=64)
-    trainer_flat = FlatPPOTrainer(
-        env_flat, agent_flat, sampler_flat, _ppo_config(), seed
-    )
-    history_flat = trainer_flat.train(iterations)
+    histories = {}
+    for backend_name in ("hierarchical", "flat"):
+        backend = get_backend(backend_name, config)
+        env, sampler = _mini_training_setup(config, seed)
+        agent = backend.build_agent(rng, hidden_size=64)
+        trainer = backend.trainer(env, agent, sampler, _ppo_config(), seed)
+        histories[backend_name] = trainer.train(iterations)
 
     return {
-        "multi_discrete": history_md.speedups(),
-        "flat": history_flat.speedups(),
-        "multi_discrete_wall": history_md.wall_clock(),
-        "flat_wall": history_flat.wall_clock(),
+        "multi_discrete": histories["hierarchical"].speedups(),
+        "flat": histories["flat"].speedups(),
+        "multi_discrete_wall": histories["hierarchical"].wall_clock(),
+        "flat_wall": histories["flat"].wall_clock(),
     }
 
 

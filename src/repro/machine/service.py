@@ -10,7 +10,7 @@ evaluation suites time the same nests across methods.
 This module removes that redundancy:
 
 * :func:`nest_fingerprint` — a canonical structural key for a lowered
-  nest: loop structure (dim/trip/span/parallel/vector flags), access
+  nest: loop structure (dim/trip/span/parallel/vector/unroll flags), access
   matrices with tensor ids renamed to first-appearance indices, scalar
   body costs, reduction dims, and the full fused-producer tree with
   recompute factors.  Two nests with equal fingerprints are
@@ -68,7 +68,14 @@ def _canonical_tensor_ids(nest: LoweredNest) -> dict[int, int]:
 
 def _fingerprint_with(nest: LoweredNest, ids: dict[int, int]) -> Fingerprint:
     loops = tuple(
-        (loop.dim, loop.trip, loop.span, loop.parallel, loop.vector)
+        (
+            loop.dim,
+            loop.trip,
+            loop.span,
+            loop.parallel,
+            loop.vector,
+            loop.unroll,
+        )
         for loop in nest.loops
     )
     accesses = tuple(

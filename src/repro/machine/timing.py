@@ -37,6 +37,9 @@ class BodyCost:
     arith_uops: float
     lanes: int
     latency_bound: float  # cycles; dependency-chain floor
+    #: body replicas per control iteration (the innermost loop's unroll
+    #: factor): loop control amortizes over the straight-line chunk
+    unroll: int = 1
 
 
 @dataclass
@@ -97,13 +100,23 @@ def body_cost(nest: LoweredNest, spec: MachineSpec) -> BodyCost:
     latency_bound = 0.0
     if not inner.vector and inner.dim in nest.reduction_dims:
         # Scalar loop-carried FP reduction: the accumulate chain
-        # serializes at the FP add latency.
+        # serializes at the FP add latency.  Unrolling does NOT lift
+        # this floor: -O3 cannot reassociate FP reductions, so the
+        # replicated bodies still feed one serial accumulator.
         latency_bound = float(spec.fp_latency)
-    return BodyCost(loads, stores, arith, lanes, latency_bound)
+    return BodyCost(
+        loads, stores, arith, lanes, latency_bound,
+        unroll=max(1, inner.unroll),
+    )
 
 
 def _cycles_per_iteration(cost: BodyCost, spec: MachineSpec) -> float:
-    issue = (cost.loads + cost.stores + cost.arith_uops + 1.0) / spec.issue_width
+    # The innermost branch/compare is straight-line code inside an
+    # unrolled chunk: one control micro-op per `unroll` points.
+    control = 1.0 / cost.unroll
+    issue = (
+        cost.loads + cost.stores + cost.arith_uops + control
+    ) / spec.issue_width
     ports = max(
         cost.loads / spec.load_ports,
         cost.stores / spec.store_ports,

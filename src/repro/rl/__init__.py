@@ -1,6 +1,13 @@
 """Actor-critic networks and PPO training for MLIR RL."""
 
 from .agent import ActorCritic, FlatActorCritic, FlatSampledStep, SampledStep
+from .backends import (
+    BACKENDS,
+    ActionSpaceBackend,
+    FlatBackend,
+    HierarchicalBackend,
+    get_backend,
+)
 from .checkpoint import load_agent, save_agent
 from .gae import compute_gae, normalize_advantages
 from .policy import FlatPolicyNetwork, PolicyNetwork, ValueNetwork
@@ -20,6 +27,11 @@ from .rollout import (
 )
 
 __all__ = [
+    "ActionSpaceBackend",
+    "BACKENDS",
+    "FlatBackend",
+    "HierarchicalBackend",
+    "get_backend",
     "ActorCritic",
     "FlatActorCritic",
     "FlatPPOTrainer",

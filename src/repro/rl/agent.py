@@ -1,11 +1,14 @@
 """Actor-critic agent: sampling and differentiable re-evaluation.
 
 The agent samples the transformation head first, then the parameter
-heads of the chosen transformation (paper §V-A): tile-size rows for
-tiled transformations, the interchange candidate for enumerated mode, or
-one level pointer per sub-step.  The per-step log-probability is the sum
-over the heads actually sampled; PPO's importance ratios recompute the
-same sum differentiably.
+head of the chosen transformation (paper §V-A): per-level rows for
+tile-style heads, one categorical for choice heads (enumerated
+interchange candidates, level pointers, plugin factors).  Which head a
+transformation samples — and how the result becomes an
+:class:`~repro.env.actions.EnvAction` — comes from the transform
+registry, so the agent contains no per-transform code.  The per-step
+log-probability is the sum over the heads actually sampled; PPO's
+importance ratios recompute the same sum differentiably.
 """
 
 from __future__ import annotations
@@ -15,47 +18,42 @@ from typing import Sequence
 
 import numpy as np
 
-from ..env.actions import EnvAction, flat_action_table, interchange_head_size
-from ..env.config import EnvConfig, InterchangeMode
+from ..env.actions import EnvAction, flat_action_table
+from ..env.config import EnvConfig
 from ..env.environment import Observation
 from ..env.masking import ActionMask
 from ..nn.distributions import MaskedCategorical
 from ..nn.tensor import Tensor
-from ..transforms.records import TransformKind
+from ..transforms.registry import view_for
 from .policy import FlatPolicyNetwork, PolicyNetwork, ValueNetwork
-
-_TILED_KINDS = (
-    TransformKind.TILING,
-    TransformKind.TILED_PARALLELIZATION,
-    TransformKind.TILED_FUSION,
-)
-_TILE_HEAD_NAME = {
-    TransformKind.TILING: "tiling",
-    TransformKind.TILED_PARALLELIZATION: "parallelization",
-    TransformKind.TILED_FUSION: "fusion",
-}
 
 
 @dataclass
 class SampledStep:
-    """Everything PPO needs to replay one decision."""
+    """Everything PPO needs to replay one decision.
+
+    ``head_name`` is the parameter head sampled for this step ("" when
+    the chosen transformation has none); ``tile_indices`` holds the
+    per-level samples of a row-style head, ``choice_index`` the sample
+    of a choice-style head (-1 when unused), ``mask_param`` the
+    sub-action mask the sample was drawn under.
+    """
 
     consumer: np.ndarray
     producer: np.ndarray
     transformation: int
-    tile_indices: np.ndarray          # (N,), -1 when unused
-    interchange_index: int            # -1 when unused
-    mask_transformation: np.ndarray   # (6,)
-    mask_tiles: np.ndarray            # (N, M)
-    mask_interchange: np.ndarray
+    tile_indices: np.ndarray | None
+    choice_index: int
+    head_name: str
+    mask_transformation: np.ndarray
+    mask_param: np.ndarray | None
     log_prob: float
     value: float
 
-
-def _tile_mask_for(mask: ActionMask, kind: TransformKind) -> np.ndarray:
-    if kind is TransformKind.TILED_PARALLELIZATION:
-        return mask.tile_parallel
-    return mask.tile_tiling
+    @property
+    def interchange_index(self) -> int:
+        """Seed-compat alias for the choice-head sample."""
+        return self.choice_index
 
 
 class ActorCritic:
@@ -68,6 +66,7 @@ class ActorCritic:
         hidden_size: int = 512,
     ):
         self.config = config
+        self.view = view_for(config)
         self.policy = PolicyNetwork(config, rng, hidden_size)
         self.value = ValueNetwork(config, rng, hidden_size)
 
@@ -136,79 +135,71 @@ class ActorCritic:
         else:
             trans = int(trans_dist.sample(rng)[0])
         log_prob = float(trans_dist.log_prob(np.array([trans])).data[0])
-        kind = TransformKind(trans)
+        spec, kind = self.view.item(trans)
+        head = spec.head(self.config)
 
-        n = self.config.max_loops
-        tile_indices = np.full(n, -1, dtype=np.int64)
-        interchange_index = -1
-        tile_mask_used = mask.tile_tiling
-        if kind in _TILED_KINDS:
-            tile_mask_used = _tile_mask_for(mask, kind)
-            tile_dist = MaskedCategorical(
-                Tensor(heads[_TILE_HEAD_NAME[kind]][None, :, :]),
-                tile_mask_used[None, :, :],
-            )
-            if greedy:
-                sampled = tile_dist.mode()[0]
+        tile_indices: np.ndarray | None = None
+        choice = -1
+        head_name = ""
+        param_mask: np.ndarray | None = None
+        if head is not None:
+            head_name = head.name
+            param_mask = mask.params[head.mask_key]
+            if head.rows:
+                dist = MaskedCategorical(
+                    Tensor(heads[head.name][None, :, :]),
+                    param_mask[None, :, :],
+                )
+                sampled = dist.mode()[0] if greedy else dist.sample(rng)[0]
+                tile_indices = sampled.astype(np.int64)
+                log_prob += float(
+                    dist.log_prob(tile_indices[None, :]).sum().data
+                )
             else:
-                sampled = tile_dist.sample(rng)[0]
-            tile_indices = sampled.astype(np.int64)
-            log_prob += float(
-                tile_dist.log_prob(tile_indices[None, :]).sum().data
-            )
-        elif kind is TransformKind.INTERCHANGE:
-            inter_dist = MaskedCategorical(
-                Tensor(heads["interchange"][None, :]),
-                mask.interchange[None, :],
-            )
-            if greedy:
-                interchange_index = int(inter_dist.mode()[0])
-            else:
-                interchange_index = int(inter_dist.sample(rng)[0])
-            log_prob += float(
-                inter_dist.log_prob(np.array([interchange_index])).data[0]
-            )
+                dist = MaskedCategorical(
+                    Tensor(heads[head.name][None, :]),
+                    param_mask[None, :],
+                )
+                choice = int(
+                    dist.mode()[0] if greedy else dist.sample(rng)[0]
+                )
+                log_prob += float(
+                    dist.log_prob(np.array([choice])).data[0]
+                )
 
-        action = self._to_env_action(kind, tile_indices, interchange_index)
+        action = spec.to_env_action(
+            kind, self.config, tile_indices=tile_indices, choice=choice
+        )
         step = SampledStep(
             consumer=observation.consumer,
             producer=observation.producer,
             transformation=trans,
             tile_indices=tile_indices,
-            interchange_index=interchange_index,
+            choice_index=choice,
+            head_name=head_name,
             mask_transformation=mask.transformation.copy(),
-            mask_tiles=tile_mask_used.copy(),
-            mask_interchange=mask.interchange.copy(),
+            mask_param=param_mask.copy() if param_mask is not None else None,
             log_prob=log_prob,
             value=value,
         )
         return action, step
-
-    def _to_env_action(
-        self,
-        kind: TransformKind,
-        tile_indices: np.ndarray,
-        interchange_index: int,
-    ) -> EnvAction:
-        if kind in _TILED_KINDS:
-            return EnvAction(kind, tile_indices=tuple(int(i) for i in tile_indices))
-        if kind is TransformKind.INTERCHANGE:
-            if self.config.interchange_mode is InterchangeMode.LEVEL_POINTERS:
-                return EnvAction(kind, pointer_loop=interchange_index)
-            return EnvAction(kind, interchange_candidate=interchange_index)
-        return EnvAction(kind)
 
     # -- PPO re-evaluation ---------------------------------------------------------
 
     def evaluate(
         self, steps: list[SampledStep]
     ) -> tuple[Tensor, Tensor, Tensor]:
-        """(log_probs, entropies, values) for a minibatch, differentiable."""
+        """(log_probs, entropies, values) for a minibatch, differentiable.
+
+        For each registered head, rows that sampled it contribute their
+        re-evaluated log-prob/entropy; the other rows enter the batched
+        distribution under a trivial single-option mask and are zeroed
+        by the indicator, leaving values and gradients untouched.
+        """
         producer = Tensor(np.stack([s.producer for s in steps]))
         consumer = Tensor(np.stack([s.consumer for s in steps]))
         heads = self.policy(producer, consumer)
         values = self.value(producer, consumer)
-        batch = len(steps)
 
         trans_actions = np.array([s.transformation for s in steps])
         trans_mask = np.stack([s.mask_transformation for s in steps])
@@ -216,44 +207,63 @@ class ActorCritic:
         log_probs = trans_dist.log_prob(trans_actions)
         entropies = trans_dist.entropy()
 
-        # Tile heads: each sample uses at most one of the three heads.
-        tile_mask = np.stack([s.mask_tiles for s in steps])
-        tile_actions = np.stack([s.tile_indices for s in steps])
-        tile_used = tile_actions[:, 0] >= 0
-        safe_actions = np.where(tile_actions < 0, 0, tile_actions)
-        for kind, name in _TILE_HEAD_NAME.items():
-            indicator = np.array(
+        for index, spec in enumerate(self.view.specs):
+            head = spec.head(self.config)
+            if head is None:
+                continue
+            used = np.array(
                 [
-                    1.0 if (s.tile_indices[0] >= 0 and s.transformation == kind)
+                    1.0
+                    if s.transformation == index and s.head_name == head.name
                     else 0.0
                     for s in steps
                 ]
             )
-            if not indicator.any():
+            if not used.any():
                 continue
-            dist = MaskedCategorical(heads[name], tile_mask)
-            per_level = dist.log_prob(safe_actions)      # (B, N)
-            summed = per_level.sum(axis=1)
-            log_probs = log_probs + summed * Tensor(indicator)
-            entropies = entropies + dist.entropy().sum(axis=1) * Tensor(
-                indicator
-            )
-
-        inter_actions = np.array([s.interchange_index for s in steps])
-        inter_used = inter_actions >= 0
-        if inter_used.any():
-            inter_mask = np.stack([s.mask_interchange for s in steps])
-            # Rows with no legal interchange never sampled it; make their
-            # mask trivially valid to keep the distribution well-formed.
-            invalid_rows = ~inter_mask.any(axis=-1)
-            if invalid_rows.any():
-                inter_mask = inter_mask.copy()
-                inter_mask[invalid_rows, 0] = True
-            dist = MaskedCategorical(heads["interchange"], inter_mask)
-            safe = np.where(inter_actions < 0, 0, inter_actions)
-            indicator = Tensor(inter_used.astype(np.float64))
-            log_probs = log_probs + dist.log_prob(safe) * indicator
-            entropies = entropies + dist.entropy() * indicator
+            if head.rows:
+                trivial = np.zeros((head.rows, head.cols), dtype=bool)
+                trivial[:, 0] = True
+                masks = np.stack(
+                    [
+                        s.mask_param if u else trivial
+                        for s, u in zip(steps, used)
+                    ]
+                )
+                actions = np.stack(
+                    [
+                        s.tile_indices
+                        if u
+                        else np.zeros(head.rows, dtype=np.int64)
+                        for s, u in zip(steps, used)
+                    ]
+                )
+                dist = MaskedCategorical(heads[head.name], masks)
+                per_level = dist.log_prob(actions)      # (B, rows)
+                indicator = Tensor(used)
+                log_probs = log_probs + per_level.sum(axis=1) * indicator
+                entropies = entropies + dist.entropy().sum(
+                    axis=1
+                ) * indicator
+            else:
+                trivial = np.zeros(head.cols, dtype=bool)
+                trivial[0] = True
+                masks = np.stack(
+                    [
+                        s.mask_param if u else trivial
+                        for s, u in zip(steps, used)
+                    ]
+                )
+                actions = np.array(
+                    [
+                        s.choice_index if u else 0
+                        for s, u in zip(steps, used)
+                    ]
+                )
+                dist = MaskedCategorical(heads[head.name], masks)
+                indicator = Tensor(used)
+                log_probs = log_probs + dist.log_prob(actions) * indicator
+                entropies = entropies + dist.entropy() * indicator
 
         return log_probs, entropies, values
 
@@ -268,33 +278,31 @@ class FlatActorCritic:
         hidden_size: int = 512,
     ):
         self.config = config
+        self.view = view_for(config)
         self.table = flat_action_table(config)
         self.policy = FlatPolicyNetwork(config, len(self.table), rng, hidden_size)
         self.value = ValueNetwork(config, rng, hidden_size)
+        #: flat-mask fallback: the stop spec's (single) entry
+        stop_indices = [
+            i
+            for i, flat in enumerate(self.table)
+            if self.view.spec_at(int(flat.kind)).is_stop
+        ]
+        self._fallback = stop_indices[-1] if stop_indices else len(self.table) - 1
 
     def flat_mask(self, mask: ActionMask, num_loops: int) -> np.ndarray:
         """Legality of each flat table entry under the current masks."""
-        sizes = self.config.tile_sizes
         legal = np.zeros(len(self.table), dtype=bool)
         for index, flat in enumerate(self.table):
-            kind = flat.kind
+            kind = int(flat.kind)
             if not mask.transformation[kind]:
                 continue
-            if kind in _TILED_KINDS:
-                if flat.level >= num_loops:
-                    continue
-                size_index = sizes.index(flat.tile_size)
-                tile_mask = _tile_mask_for(mask, kind)
-                legal[index] = bool(tile_mask[flat.level, size_index])
-            elif kind is TransformKind.INTERCHANGE:
-                moved = [
-                    p for p, q in enumerate(flat.permutation) if p != q
-                ]
-                legal[index] = all(p < num_loops for p in moved)
-            else:
-                legal[index] = True
+            spec = self.view.spec_at(kind)
+            legal[index] = spec.flat_legal(
+                flat, mask, num_loops, self.config
+            )
         if not legal.any():
-            legal[-1] = True  # no-transformation fallback
+            legal[self._fallback] = True  # no-transformation fallback
         return legal
 
     def act(

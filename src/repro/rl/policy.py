@@ -6,23 +6,27 @@ Three components:
    producer and the consumer are fed sequentially through an LSTM; the
    final hidden state is the embedding (§V-A1);
 2. **backbone** — three 512-unit fully connected ReLU layers (§V-A2);
-3. **action heads** (§V-A3) —
-   * transformation selection: a 6-way softmax;
-   * tiled transformations: three heads of shape N x M, one row-softmax
-     per loop level (tile-size distribution per level);
-   * interchange: ``3N - 6`` logits for enumerated candidates, or ``N``
-     logits for level pointers.
+3. **action heads** (§V-A3) — sized from the transform registry view of
+   the config: a softmax over the active transformations, plus one head
+   per registered :class:`~repro.transforms.registry.HeadSpec` —
+   row-softmax (N x M) heads for the per-level tile distributions,
+   single categoricals for choice heads (interchange's ``3N - 6``
+   enumerated candidates or ``N`` level pointers, a plugin's factor
+   head, ...).  The default view reproduces the paper's five heads with
+   identical shapes and initialization order, so seed checkpoints load
+   unchanged; registering a transform grows the heads with zero edits
+   here.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..env.actions import interchange_head_size
 from ..env.config import EnvConfig
 from ..env.features import feature_size
 from ..nn.layers import LSTMEncoder, Linear, MLP, Module
 from ..nn.tensor import Tensor
+from ..transforms.registry import view_for
 
 
 class PolicyNetwork(Module):
@@ -37,19 +41,23 @@ class PolicyNetwork(Module):
         self.config = config
         self.hidden_size = hidden_size
         self.input_size = feature_size(config)
-        n = config.max_loops
-        m = config.num_tile_sizes
+        view = view_for(config)
         self.encoder = LSTMEncoder(self.input_size, hidden_size, rng)
         self.backbone = MLP(
             [hidden_size, hidden_size, hidden_size, hidden_size], rng
         )
-        self.head_transformation = Linear(hidden_size, 6, rng)
-        self.head_tiling = Linear(hidden_size, n * m, rng)
-        self.head_parallelization = Linear(hidden_size, n * m, rng)
-        self.head_fusion = Linear(hidden_size, n * m, rng)
-        self.head_interchange = Linear(
-            hidden_size, interchange_head_size(config), rng
-        )
+        self.head_transformation = Linear(hidden_size, len(view), rng)
+        #: one Linear per registered head, in view order (this is also
+        #: the parameter/checkpoint order — the seed's five heads for
+        #: the default view)
+        self.param_heads: dict[str, Linear] = {}
+        self._head_specs = {}
+        for head in view.heads(config):
+            rows = head.rows if head.rows else 1
+            self.param_heads[head.name] = Linear(
+                hidden_size, rows * head.cols, rng
+            )
+            self._head_specs[head.name] = head
 
     def embed(self, producer: Tensor, consumer: Tensor) -> Tensor:
         """Producer-consumer embedding -> backbone feature vector."""
@@ -61,22 +69,19 @@ class PolicyNetwork(Module):
     ) -> dict[str, Tensor]:
         """All head logits for a batch.
 
-        Inputs are (B, feature) tensors; tile heads are reshaped to
-        (B, N, M) so each loop level has its own distribution.
+        Inputs are (B, feature) tensors; per-level heads are reshaped to
+        (B, rows, cols) so each loop level has its own distribution.
         """
         features = self.embed(producer, consumer)
         batch = features.shape[0]
-        n = self.config.max_loops
-        m = self.config.num_tile_sizes
-        return {
-            "transformation": self.head_transformation(features),
-            "tiling": self.head_tiling(features).reshape(batch, n, m),
-            "parallelization": self.head_parallelization(features).reshape(
-                batch, n, m
-            ),
-            "fusion": self.head_fusion(features).reshape(batch, n, m),
-            "interchange": self.head_interchange(features),
-        }
+        out = {"transformation": self.head_transformation(features)}
+        for name, layer in self.param_heads.items():
+            head = self._head_specs[name]
+            logits = layer(features)
+            if head.rows:
+                logits = logits.reshape(batch, head.rows, head.cols)
+            out[name] = logits
+        return out
 
 
 class FlatPolicyNetwork(Module):

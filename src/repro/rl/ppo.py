@@ -48,6 +48,25 @@ class PPOConfig:
     #: forward per vector step instead of one per env); 1 = sequential.
     num_envs: int = 1
 
+    def __post_init__(self) -> None:
+        if self.num_envs < 1:
+            raise ValueError(
+                f"PPOConfig.num_envs must be >= 1, got {self.num_envs}; "
+                "use 1 for sequential collection or N > 1 for batched "
+                "vec-env rollouts"
+            )
+        if self.samples_per_iteration < 1:
+            raise ValueError(
+                "PPOConfig.samples_per_iteration must be >= 1, got "
+                f"{self.samples_per_iteration}"
+            )
+        if self.minibatch_size < 2:
+            raise ValueError(
+                f"PPOConfig.minibatch_size must be >= 2, got "
+                f"{self.minibatch_size} (singleton minibatches are "
+                "skipped by the update loop)"
+            )
+
 
 @dataclass
 class IterationStats:
@@ -243,6 +262,14 @@ class FlatPPOTrainer(PPOTrainer):
         config: PPOConfig = PPOConfig(),
         seed: int = 0,
     ):
+        if config.num_envs > 1:
+            # Fail loudly instead of silently collecting sequentially:
+            # the flat agent has no batched-act path (yet).
+            raise ValueError(
+                "the flat action-space trainer collects sequentially; "
+                f"PPOConfig.num_envs={config.num_envs} is not supported "
+                "— use num_envs=1 or the hierarchical backend"
+            )
         super().__init__(env, agent, sampler, config, seed)  # type: ignore[arg-type]
 
     def collect(self) -> list[Trajectory]:

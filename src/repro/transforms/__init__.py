@@ -2,7 +2,9 @@
 
 Tiling, tiled parallelization, tiled fusion, interchange and
 vectorization over scheduled linalg ops, plus lowering to the explicit
-loop-nest IR the machine model executes.
+loop-nest IR the machine model executes.  Every transformation is a
+registered :mod:`~repro.transforms.registry` plugin; loop unrolling
+(:mod:`~repro.transforms.unrolling`) is the worked extension example.
 """
 
 from .fusion import (
@@ -14,6 +16,7 @@ from .fusion import (
 from .interchange import (
     apply_interchange,
     enumerated_candidates,
+    rotation_permutations,
     swap_candidate_count,
 )
 from .loop_nest import (
@@ -49,6 +52,19 @@ from .multi_fusion import (
     apply_multi_tiled_fusion,
     fusable_producers,
 )
+from .registry import (
+    BUILTIN_TRANSFORMS,
+    HeadSpec,
+    MaskContext,
+    PluginKind,
+    RegistryView,
+    TransformSpec,
+    get_spec,
+    register_transform,
+    registered_transforms,
+    spec_for_record,
+    view_for,
+)
 from .scheduled_op import Band, BandLoop, FusedProducer, ScheduledOp, TransformError
 from .script import ScriptError, apply_script, parse_script, render_script
 from .tiling import (
@@ -56,6 +72,7 @@ from .tiling import (
     apply_tiling,
     legal_tile_positions,
 )
+from .unrolling import Unroll, UnrollSpec, apply_unroll, can_unroll
 from .vectorization import (
     MAX_VECTOR_INNER_TRIP,
     apply_vectorization,
@@ -64,6 +81,22 @@ from .vectorization import (
 )
 
 __all__ = [
+    "BUILTIN_TRANSFORMS",
+    "HeadSpec",
+    "MaskContext",
+    "PluginKind",
+    "RegistryView",
+    "TransformSpec",
+    "Unroll",
+    "UnrollSpec",
+    "apply_unroll",
+    "can_unroll",
+    "get_spec",
+    "register_transform",
+    "registered_transforms",
+    "rotation_permutations",
+    "spec_for_record",
+    "view_for",
     "Access",
     "Band",
     "BandLoop",

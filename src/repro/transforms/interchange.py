@@ -53,6 +53,20 @@ def enumerated_candidates(num_loops: int) -> list[tuple[int, ...]]:
     return candidates
 
 
+def rotation_permutations(num_loops: int) -> list[tuple[int, ...]]:
+    """Permutations rotating each loop to the innermost or outermost
+    position while preserving the relative order of the others — the
+    pruned interchange set the search baselines explore."""
+    perms: set[tuple[int, ...]] = set()
+    for position in range(num_loops):
+        rest = [p for p in range(num_loops) if p != position]
+        perms.add(tuple(rest + [position]))   # position -> innermost
+        perms.add(tuple([position] + rest))   # position -> outermost
+    identity = tuple(range(num_loops))
+    perms.discard(identity)
+    return sorted(perms)
+
+
 def swap_candidate_count(num_loops: int) -> int:
     """Size of the enumerated-candidates subspace for an N-deep nest."""
     return sum(

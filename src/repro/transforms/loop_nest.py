@@ -20,7 +20,10 @@ class Loop:
     """One loop of the lowered nest.
 
     ``span`` is the number of points of ``dim`` that one iteration covers
-    (the tile size for tile loops, 1 for point loops).
+    (the tile size for tile loops, 1 for point loops).  ``unroll`` is the
+    number of body replicas per control iteration: a fully-unrolled
+    chunk loop carries ``unroll == trip`` (straight-line code, no branch
+    per point); 1 means a regular loop.
     """
 
     dim: int
@@ -28,6 +31,7 @@ class Loop:
     span: int = 1
     parallel: bool = False
     vector: bool = False
+    unroll: int = 1
 
 
 @dataclass(frozen=True)

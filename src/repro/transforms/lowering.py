@@ -17,6 +17,7 @@ from ..ir.affine import AffineError
 from ..ir.ops import FuncOp, LinalgOp
 from .fusion import intermediate_value_dims, recompute_factor
 from .loop_nest import Access, FusedNest, Loop, LoweredNest
+from .registry import lowering_hooks
 from .scheduled_op import ScheduledOp
 
 
@@ -72,6 +73,10 @@ def lower_scheduled_op(schedule: ScheduledOp) -> LoweredNest:
                 vector=schedule.vectorized and index == num_point_loops - 1,
             )
         )
+    # Registered plugin transforms (e.g. unrolling) post-process the
+    # loop list; with no plugin annotations this is the identity.
+    for spec in lowering_hooks():
+        loops = spec.lower_loops(schedule, loops)
     nest = LoweredNest(
         loops=loops,
         accesses=access_patterns(schedule.op),

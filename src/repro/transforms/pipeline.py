@@ -1,29 +1,21 @@
 """Schedule application pipeline: dispatch transformation records.
 
 :class:`ScheduledFunction` owns the per-op schedule state for one
-function and applies transformation records with the paper's semantics,
-including the producer bookkeeping that tiled fusion needs.
+function and applies transformation records through the transform
+registry — any registered record type (including plugins like
+``Unroll``) dispatches to its spec's apply hook, with the paper's
+semantics and the producer bookkeeping that tiled fusion needs.
 """
 
 from __future__ import annotations
 
 from ..ir.ops import FuncOp, LinalgOp
-from .fusion import apply_tiled_fusion, fusable_producer
-from .interchange import apply_interchange
+from .fusion import fusable_producer
 from .loop_nest import LoweredNest
 from .lowering import lower_function
-from .records import (
-    Interchange,
-    NoTransformation,
-    TiledFusion,
-    TiledParallelization,
-    Tiling,
-    Transformation,
-    Vectorization,
-)
+from .records import Transformation
+from .registry import spec_for_record
 from .scheduled_op import FusedProducer, ScheduledOp, TransformError
-from .tiling import apply_tiled_parallelization, apply_tiling
-from .vectorization import apply_vectorization
 
 
 class ScheduledFunction:
@@ -42,22 +34,16 @@ class ScheduledFunction:
         return schedule
 
     def apply(self, op: LinalgOp, transform: Transformation) -> None:
-        """Apply one transformation record to ``op``'s schedule."""
-        schedule = self.schedule_of(op)
-        if isinstance(transform, Tiling):
-            apply_tiling(schedule, transform)
-        elif isinstance(transform, TiledParallelization):
-            apply_tiled_parallelization(schedule, transform)
-        elif isinstance(transform, TiledFusion):
-            apply_tiled_fusion(self.func, schedule, transform, self._schedules)
-        elif isinstance(transform, Interchange):
-            apply_interchange(schedule, transform)
-        elif isinstance(transform, Vectorization):
-            apply_vectorization(schedule, transform)
-        elif isinstance(transform, NoTransformation):
-            schedule.history.append(transform)
-        else:
+        """Apply one transformation record to ``op``'s schedule.
+
+        Dispatches through the registry: the record type's spec owns the
+        application semantics, so registered plugins apply here without
+        any pipeline edit.
+        """
+        spec = spec_for_record(type(transform))
+        if spec is None:
             raise TransformError(f"unknown transformation {transform!r}")
+        spec.apply(self, op, transform)
 
     def fusable_producer_of(self, op: LinalgOp) -> ScheduledOp | None:
         """The producer a TiledFusion on ``op`` would fuse, or None."""

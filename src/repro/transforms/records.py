@@ -2,9 +2,14 @@
 
 One record per paper transformation (§IV-A): Tiling, Tiled
 Parallelization, Tiled Fusion, Interchange, Vectorization, and
-No-Transformation.  Records are pure data; application logic lives in the
-sibling transform modules, and the RL action space (env.actions) maps
-agent outputs onto these records.
+No-Transformation.  Records are pure data; application logic lives in
+the sibling transform modules, and each record type is owned by a
+registered :class:`~repro.transforms.registry.TransformSpec` that maps
+agent outputs onto it and applies it.  The action space is therefore
+open-ended — plugins add record types (e.g.
+:class:`~repro.transforms.unrolling.Unroll`) without touching this
+module; :class:`TransformKind` remains as the stable ids of the paper's
+six default head positions.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ iteration-space dimension indices.
 
 from __future__ import annotations
 
+import copy as copy_module
 import math
 from dataclasses import dataclass, field
 
@@ -77,6 +78,10 @@ class ScheduledOp:
         self.history: list[Transformation] = []
         #: set once this op has been fused into a consumer
         self.fused_into: "ScheduledOp | None" = None
+        #: registry-plugin schedule state (e.g. the unroll plugin's
+        #: per-dim factors); specs own their keys, core code never reads
+        #: them — lowering hooks consume them instead
+        self.annotations: dict[str, object] = {}
 
     # -- queries -------------------------------------------------------------
 
@@ -134,6 +139,7 @@ class ScheduledOp:
         copy.vectorized = self.vectorized
         copy.history = list(self.history)
         copy.fused_into = self.fused_into
+        copy.annotations = copy_module.deepcopy(self.annotations)
         return copy
 
     # -- shared tiling machinery ----------------------------------------------
