@@ -5,7 +5,8 @@ Mirrors the paper artifact's shell scripts:
 * ``paper``     — regenerate every table/figure (JSON + text);
 * ``evaluate``  — run all methods on one benchmark suite;
 * ``train``     — train the PPO agent on the training mixture;
-* ``optimize``  — schedule one model/app and print the schedule script.
+* ``optimize``  — schedule one model/app and print the schedule script;
+* ``profile``   — cProfile one training epoch (top cumulative entries).
 """
 
 from __future__ import annotations
@@ -110,10 +111,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
             return 1
         config = config.with_transforms(*extra)
-    if args.action_space == "flat" and args.num_envs > 1:
+    if args.action_space == "flat" and (args.num_envs > 1 or args.workers > 1):
         print(
             "--action-space flat collects sequentially and does not "
-            "support --num-envs > 1; drop --num-envs or use "
+            "support --num-envs/--workers > 1; drop them or use "
             "--action-space hierarchical"
         )
         return 1
@@ -130,10 +131,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
             samples_per_iteration=args.samples,
             minibatch_size=16,
             num_envs=args.num_envs,
+            num_workers=args.workers,
         ),
         seed=args.seed,
     )
-    history = trainer.train(args.iterations)
+    try:
+        history = trainer.train(args.iterations)
+    finally:
+        trainer.close()
     for stats in history.iterations:
         print(
             f"iter {stats.iteration:3d}: speedup "
@@ -141,6 +146,54 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
     save_agent(agent, args.checkpoint)
     print(f"checkpoint saved to {args.checkpoint}")
+    _print_cache_stats(env.executor)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one training epoch; print the top cumulative entries.
+
+    The fast way to answer "where do collection steps actually go":
+    run it before/after a change and compare the lower/fingerprint/
+    observe shares (the README's Performance section shows a typical
+    profile).
+    """
+    import cProfile
+    import pstats
+
+    import numpy as np
+
+    from .datasets import training_sampler
+    from .env import MlirRlEnv, small_config
+    from .rl import PPOConfig, get_backend
+
+    config = small_config()
+    rng = np.random.default_rng(args.seed)
+    backend = get_backend("hierarchical", config)
+    agent = backend.build_agent(rng, hidden_size=args.hidden)
+    env = MlirRlEnv(config=config)
+    sampler = training_sampler(scale=args.scale, seed=args.seed)
+    trainer = backend.trainer(
+        env,
+        agent,
+        sampler,
+        PPOConfig(
+            samples_per_iteration=args.samples,
+            minibatch_size=16,
+            num_envs=args.num_envs,
+        ),
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        trainer.train(args.iterations)
+    finally:
+        profiler.disable()
+        trainer.close()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
     _print_cache_stats(env.executor)
     return 0
 
@@ -224,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
         "values)",
     )
     train.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="rollout worker processes (must be >= 1); 1 collects "
+        "in-process (seed-exact), N > 1 steps episodes through a "
+        "multiprocessing pool with cross-worker timing-cache sync "
+        "(identical episodes to --num-envs N in-process collection)",
+    )
+    train.add_argument(
         "--action-space",
         choices=("hierarchical", "flat"),
         default="hierarchical",
@@ -247,6 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("target")
     optimize.add_argument("--script", default=None)
     optimize.set_defaults(func=_cmd_optimize)
+
+    profile = commands.add_parser(
+        "profile", help="cProfile one training epoch"
+    )
+    profile.add_argument("--iterations", type=int, default=1)
+    profile.add_argument("--samples", type=int, default=8)
+    profile.add_argument("--num-envs", type=_positive_int, default=1)
+    profile.add_argument("--hidden", type=int, default=64)
+    profile.add_argument("--scale", type=float, default=0.01)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--top", type=int, default=25, help="rows of the profile to print"
+    )
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

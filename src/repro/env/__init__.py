@@ -31,13 +31,21 @@ from .features import (
     zero_features,
 )
 from .history import ActionHistory
-from .masking import ActionMask, compute_mask
+from .masking import ActionMask, MaskCache, compute_mask, mask_cache_key
 from .reward import RewardModel, RewardState
 from .spaces import Box, DictSpace, Discrete, MultiDiscrete, Space
-from .vector import VecMlirRlEnv, VecObservation, VecStepResult
+from .vector import (
+    AsyncVecMlirRlEnv,
+    VecMlirRlEnv,
+    VecObservation,
+    VecStepResult,
+)
 
 __all__ = [
     "ActionHistory",
+    "AsyncVecMlirRlEnv",
+    "MaskCache",
+    "mask_cache_key",
     "ActionMask",
     "Box",
     "DictSpace",

@@ -50,7 +50,7 @@ from .actions import EnvAction, decode_action
 from .config import EnvConfig, PAPER_CONFIG, RewardMode
 from .features import feature_size, op_features, zero_features
 from .history import ActionHistory
-from .masking import ActionMask, compute_mask
+from .masking import ActionMask, MaskCache, compute_mask
 from .reward import RewardModel, RewardState
 
 
@@ -84,10 +84,17 @@ class MlirRlEnv:
         benchmark_provider: Callable[[], FuncOp] | None = None,
         config: EnvConfig = PAPER_CONFIG,
         executor: Executor | None = None,
+        observation_cache: bool = True,
     ):
         self.config = config
         self._view = view_for(config)
         self.executor = executor or CachingExecutor()
+        #: incremental _observe(): per-op static feature memos plus a
+        #: mask LRU keyed by (op, schedule state, pointer state); False
+        #: recomputes everything each step (the pre-fast-path behavior,
+        #: kept for benchmarking — observations are bit-identical).
+        self._observation_cache = observation_cache
+        self._mask_cache = MaskCache() if observation_cache else None
         self.reward_model = RewardModel(self.executor, config.reward_mode)
         self._provider = benchmark_provider
         self._func: FuncOp | None = None
@@ -150,21 +157,34 @@ class MlirRlEnv:
         schedule = self.current_schedule()
         history = self._history_of(self._current)
         producer = self._producer_of_current()
+        cache = self._observation_cache
         if producer is not None:
             producer_vec = op_features(
-                producer, self._history_of(producer.op), self.config
+                producer,
+                self._history_of(producer.op),
+                self.config,
+                cache=cache,
             )
         else:
             producer_vec = zero_features(self.config)
-        mask = compute_mask(
-            schedule,
-            self.config,
-            has_producer=producer is not None,
-            pointer_placed=tuple(self._pointer_placed),
-            in_pointer_sequence=bool(self._pointer_placed),
-        )
+        if self._mask_cache is not None:
+            mask = self._mask_cache.lookup(
+                schedule,
+                self.config,
+                has_producer=producer is not None,
+                pointer_placed=tuple(self._pointer_placed),
+                in_pointer_sequence=bool(self._pointer_placed),
+            )
+        else:
+            mask = compute_mask(
+                schedule,
+                self.config,
+                has_producer=producer is not None,
+                pointer_placed=tuple(self._pointer_placed),
+                in_pointer_sequence=bool(self._pointer_placed),
+            )
         return Observation(
-            consumer=op_features(schedule, history, self.config),
+            consumer=op_features(schedule, history, self.config, cache=cache),
             producer=producer_vec,
             mask=mask,
         )

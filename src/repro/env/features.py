@@ -107,40 +107,107 @@ def operation_count_features(op: LinalgOp) -> np.ndarray:
     return np.log1p(vector)
 
 
+_STATIC_MEMO_ATTR = "_repro_static_features"
+
+
+def _static_op_parts(
+    op: LinalgOp, config: EnvConfig, cache: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The history/schedule-independent feature blocks of one op.
+
+    Op type, vectorization pre-condition, indexing maps and operation
+    counts depend only on the (immutable) op and the config's static
+    sizes, so they are computed once per (op, config) and memoized on
+    the op object itself — lifetime-tied, no id-reuse hazard.  The
+    returned arrays are read-only; :func:`op_features` concatenates
+    (copies) them into each observation.
+    """
+    memo: dict | None = None
+    if cache:
+        memo = getattr(op, _STATIC_MEMO_ATTR, None)
+        if memo is None:
+            memo = {}
+            setattr(op, _STATIC_MEMO_ATTR, memo)
+        parts = memo.get(config)
+        if parts is not None:
+            return parts
+    parts = (
+        op_type_features(op),
+        np.array(
+            [1.0 if vectorization_precondition(op) else 0.0],
+            dtype=np.float32,
+        ),
+        indexing_map_features(op, config),
+        operation_count_features(op),
+    )
+    if memo is not None:
+        for part in parts:
+            part.setflags(write=False)
+        memo[config] = parts
+    return parts
+
+
 def op_features(
     schedule: ScheduledOp,
     history: ActionHistory,
     config: EnvConfig,
+    cache: bool = True,
 ) -> np.ndarray:
-    """The full representation vector of one operation."""
+    """The full representation vector of one operation.
+
+    With ``cache`` (the default) the static blocks come from the per-op
+    memo and the history tensor flattening from the history's
+    version-keyed memo, so only the loop-range slice — the one part
+    that tracks the live schedule — is rebuilt each call.  The output is
+    bit-identical either way.
+    """
     op = schedule.op
+    op_type, precondition, indexing, counts = _static_op_parts(
+        op, config, cache
+    )
     parts = [
-        op_type_features(op),
+        op_type,
         loop_range_features(schedule, config),
-        np.array(
-            [1.0 if vectorization_precondition(op) else 0.0], dtype=np.float32
-        ),
-        indexing_map_features(op, config),
-        operation_count_features(op),
-        history.flatten(),
+        precondition,
+        indexing,
+        counts,
+        history.flatten(cache=cache),
     ]
-    return np.concatenate(parts).astype(np.float32)
+    return np.concatenate(parts).astype(np.float32, copy=False)
+
+
+_FEATURE_SIZE_MEMO: dict[EnvConfig, int] = {}
+_ZERO_FEATURES_MEMO: dict[EnvConfig, np.ndarray] = {}
 
 
 def feature_size(config: EnvConfig) -> int:
-    """Length of one op representation vector for ``config``."""
-    n = config.max_loops
-    return (
-        len(OP_TYPE_ORDER)
-        + n            # bounds
-        + 2 * n        # iterator one-hots
-        + 1            # vectorization precondition
-        + config.max_arrays * config.max_rank * (n + 1)
-        + len(COUNTED_ARITH_KINDS)
-        + ActionHistory.feature_size(config)
-    )
+    """Length of one op representation vector for ``config`` (memoized —
+    the registry view per config is stable, so so is the size)."""
+    size = _FEATURE_SIZE_MEMO.get(config)
+    if size is None:
+        n = config.max_loops
+        size = (
+            len(OP_TYPE_ORDER)
+            + n            # bounds
+            + 2 * n        # iterator one-hots
+            + 1            # vectorization precondition
+            + config.max_arrays * config.max_rank * (n + 1)
+            + len(COUNTED_ARITH_KINDS)
+            + ActionHistory.feature_size(config)
+        )
+        _FEATURE_SIZE_MEMO[config] = size
+    return size
 
 
 def zero_features(config: EnvConfig) -> np.ndarray:
-    """All-zero vector standing in for a missing producer."""
-    return np.zeros(feature_size(config), dtype=np.float32)
+    """All-zero vector standing in for a missing producer.
+
+    Memoized per config and returned read-only — every consumer copies
+    it into a batch row or concatenation, never writes through it.
+    """
+    zeros = _ZERO_FEATURES_MEMO.get(config)
+    if zeros is None:
+        zeros = np.zeros(feature_size(config), dtype=np.float32)
+        zeros.setflags(write=False)
+        _ZERO_FEATURES_MEMO[config] = zeros
+    return zeros

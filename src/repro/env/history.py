@@ -54,6 +54,9 @@ class ActionHistory:
                     (tau, *shape), dtype=np.float32
                 )
         self.step = 0
+        #: bumped on every tensor write; keys the flatten() memo
+        self.version = 0
+        self._flat_memo: tuple[int, np.ndarray] | None = None
 
     def _tile_index(self, size: int) -> int:
         """Index of the closest candidate tile size."""
@@ -79,6 +82,7 @@ class ActionHistory:
         """Record one completed transformation and advance the clock."""
         if self.step >= self.config.max_schedule_length:
             return
+        self.version += 1
         if isinstance(transform, Tiling):
             self._record_tiled(self.tiling, transform.sizes)
         elif isinstance(transform, TiledParallelization):
@@ -113,6 +117,7 @@ class ActionHistory:
         if self.step >= self.config.max_schedule_length:
             return
         if position < self.config.max_loops and loop < self.config.max_loops:
+            self.version += 1
             self.interchange[self.step, position, loop] = 1.0
 
     def rollback_partial_interchange(self, placed: "Sequence[int]") -> None:
@@ -125,12 +130,23 @@ class ActionHistory:
         """
         if self.step >= self.config.max_schedule_length:
             return
+        self.version += 1
         for position, loop in enumerate(placed):
             if position < self.config.max_loops and loop < self.config.max_loops:
                 self.interchange[self.step, position, loop] = 0.0
 
-    def flatten(self) -> np.ndarray:
-        """Concatenate all history tensors into one feature vector."""
+    def flatten(self, cache: bool = True) -> np.ndarray:
+        """Concatenate all history tensors into one feature vector.
+
+        Memoized by the write-version counter: repeated observations of
+        an unchanged history (every step observes both the consumer and
+        its producer) reuse the previous flattening.  The memoized array
+        is read-only; callers concatenate (copy) it.
+        """
+        if cache and self._flat_memo is not None:
+            version, flat = self._flat_memo
+            if version == self.version:
+                return flat
         parts = [
             self.tiling.ravel(),
             self.parallelization.ravel(),
@@ -138,7 +154,11 @@ class ActionHistory:
             self.interchange.ravel(),
         ]
         parts.extend(extra.ravel() for extra in self.extras.values())
-        return np.concatenate(parts)
+        flat = np.concatenate(parts)
+        if cache:
+            flat.setflags(write=False)
+            self._flat_memo = (self.version, flat)
+        return flat
 
     @staticmethod
     def feature_size(config: EnvConfig) -> int:

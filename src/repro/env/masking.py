@@ -20,6 +20,7 @@ default view the masks are the paper's:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -116,3 +117,85 @@ def compute_mask(
         param = params.get(head.mask_key) if head is not None else None
         transformation[index] = spec.is_legal(ctx, param)
     return ActionMask(transformation, params, kinds=view.kinds)
+
+
+def mask_cache_key(
+    schedule: ScheduledOp,
+    has_producer: bool,
+    pointer_placed: tuple[int, ...],
+    in_pointer_sequence: bool,
+) -> tuple:
+    """The state a mask depends on, as a hashable key.
+
+    Every legality predicate reads only the op's static properties
+    (iterator types, kind, indexing maps — covered by holding the op
+    object itself in the key, which also pins its identity) plus the
+    mutable schedule state captured by
+    :meth:`~repro.transforms.scheduled_op.ScheduledOp.state_key` and
+    the pointer-sequence arguments.  Equal keys therefore yield equal
+    masks.
+    """
+    return (
+        schedule.op,
+        schedule.state_key(),
+        has_producer,
+        pointer_placed,
+        in_pointer_sequence,
+    )
+
+
+class MaskCache:
+    """Bounded LRU of :func:`compute_mask` results, keyed by
+    :func:`mask_cache_key`.
+
+    Masks recur heavily: every pointer sub-step, illegal action and
+    no-op re-observes an unchanged state, and every episode on the same
+    function starts from the same empty schedules.  Cached masks are
+    shared objects — consumers read them (and copy the arrays they
+    store, as the agent already does), never mutate them.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("mask cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, ActionMask] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        schedule: ScheduledOp,
+        config: EnvConfig,
+        has_producer: bool,
+        pointer_placed: tuple[int, ...] = (),
+        in_pointer_sequence: bool = False,
+    ) -> ActionMask:
+        key = mask_cache_key(
+            schedule, has_producer, pointer_placed, in_pointer_sequence
+        )
+        mask = self._entries.get(key)
+        if mask is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return mask
+        self.misses += 1
+        mask = compute_mask(
+            schedule,
+            config,
+            has_producer=has_producer,
+            pointer_placed=pointer_placed,
+            in_pointer_sequence=in_pointer_sequence,
+        )
+        # Shared across steps/episodes: freeze the arrays so accidental
+        # in-place edits fail loudly instead of corrupting the cache.
+        mask.transformation.setflags(write=False)
+        for param in mask.params.values():
+            param.setflags(write=False)
+        self._entries[key] = mask
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return mask

@@ -18,6 +18,7 @@ bit-equivalent to N sequential single-env rollouts (see
 
 from __future__ import annotations
 
+import multiprocessing as mp
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -67,7 +68,47 @@ class VecStepResult:
     infos: list[dict] = field(default_factory=list)
 
 
-class VecMlirRlEnv:
+class _VectorEnvBase:
+    """Shared slot bookkeeping of the in-process and async vector envs.
+
+    Subclasses own ``self._observations`` (one ``Observation | None``
+    per slot) and ``self._feature``; stacking and activity queries are
+    identical across transports and live here so the two environments
+    cannot drift apart.
+    """
+
+    _observations: list[Observation | None]
+    _feature: int
+
+    @property
+    def num_envs(self) -> int:
+        raise NotImplementedError
+
+    def _stack(self) -> VecObservation:
+        consumer = np.zeros((self.num_envs, self._feature))
+        producer = np.zeros((self.num_envs, self._feature))
+        masks: list[ActionMask | None] = []
+        active = np.zeros(self.num_envs, dtype=bool)
+        for index, observation in enumerate(self._observations):
+            if observation is None:
+                masks.append(None)
+                continue
+            consumer[index] = observation.consumer
+            producer[index] = observation.producer
+            masks.append(observation.mask)
+            active[index] = True
+        return VecObservation(consumer, producer, masks, active)
+
+    def active_indices(self) -> list[int]:
+        """Indices of environments whose episodes are still running."""
+        return [
+            index
+            for index, observation in enumerate(self._observations)
+            if observation is not None
+        ]
+
+
+class VecMlirRlEnv(_VectorEnvBase):
     """N independent episodes stepped as one batch.
 
     ``executor`` defaults to a fresh shared :class:`CachingExecutor`;
@@ -144,29 +185,283 @@ class VecMlirRlEnv:
             infos.append(result.info)
         return VecStepResult(self._stack(), rewards, dones, infos)
 
-    def _stack(self) -> VecObservation:
-        consumer = np.zeros((self.num_envs, self._feature))
-        producer = np.zeros((self.num_envs, self._feature))
-        masks: list[ActionMask | None] = []
-        active = np.zeros(self.num_envs, dtype=bool)
-        for index, observation in enumerate(self._observations):
-            if observation is None:
-                masks.append(None)
-                continue
-            consumer[index] = observation.consumer
-            producer[index] = observation.producer
-            masks.append(observation.mask)
-            active[index] = True
-        return VecObservation(consumer, producer, masks, active)
-
-    def active_indices(self) -> list[int]:
-        """Indices of environments whose episodes are still running."""
-        return [
-            index
-            for index, observation in enumerate(self._observations)
-            if observation is not None
-        ]
-
     def final_speedup(self, index: int) -> float:
         """Final speedup of slot ``index`` (see MlirRlEnv.final_speedup)."""
         return self.envs[index].final_speedup()
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing vector environment
+# ---------------------------------------------------------------------------
+
+
+def _pack_observation(observation: Observation | None):
+    if observation is None:
+        return None
+    return (observation.consumer, observation.producer, observation.mask)
+
+
+def _unpack_observation(payload) -> Observation | None:
+    if payload is None:
+        return None
+    consumer, producer, mask = payload
+    return Observation(consumer=consumer, producer=producer, mask=mask)
+
+
+def _async_env_worker(conn, config: EnvConfig, provider, seed: int) -> None:
+    """One worker process hosting one :class:`MlirRlEnv`.
+
+    Deterministic per-worker seeding: the global RNGs any benchmark
+    provider might use are seeded from the worker's assigned seed, so a
+    pool started twice with the same seed replays the same draws.
+    """
+    import random
+
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    env = MlirRlEnv(provider, config, CachingExecutor())
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            try:
+                if command == "reset":
+                    observation = env.reset(message[1])
+                    conn.send(("ok", _pack_observation(observation)))
+                elif command == "step":
+                    result = env.step(message[1])
+                    conn.send(
+                        (
+                            "ok",
+                            (
+                                _pack_observation(result.observation),
+                                result.reward,
+                                result.done,
+                                result.info,
+                            ),
+                        )
+                    )
+                elif command == "final_speedup":
+                    conn.send(("ok", env.final_speedup()))
+                elif command == "cache_drain":
+                    conn.send(("ok", env.executor.cache.drain_updates()))
+                elif command == "cache_absorb":
+                    env.executor.cache.absorb_updates(message[1])
+                    conn.send(("ok", None))
+                elif command == "close":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    conn.send(("error", f"unknown command {command!r}"))
+            except Exception as error:  # surface worker-side failures
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+
+
+class AsyncVecMlirRlEnv(_VectorEnvBase):
+    """The :class:`VecMlirRlEnv` interface over a multiprocessing pool.
+
+    Each slot is an :class:`MlirRlEnv` living in its own worker process;
+    :meth:`step` dispatches every active slot's action before collecting
+    any reply, so environments execute their (lowering/cost-model-bound)
+    steps concurrently while the batched policy forward stays in the
+    parent.  Drop-in for the batched collectors: same stacked
+    observations, same no-auto-reset semantics, same validation.
+
+    Differences from the in-process vector env, by necessity of the
+    process boundary:
+
+    * ``reset`` accepts *fewer* functions than slots — the surplus
+      workers sit the batch out (needed by collectors whose last batch
+      is smaller than the pool);
+    * each worker owns a private timing cache;
+      :meth:`sync_timing_caches` exchanges newly computed entries
+      between all workers (and the parent-side ``executor``), which is
+      valid because cache keys are identity-free structural tuples;
+    * a ``benchmark_provider`` must be picklable under the chosen start
+      method ("fork" by default, where it need not pickle at all).
+
+    Workers are daemonic: an abandoned pool dies with the parent.  Call
+    :meth:`close` (or use the pool as a context manager) for an orderly
+    shutdown.
+    """
+
+    def __init__(
+        self,
+        num_envs: int,
+        benchmark_provider: Callable[[], FuncOp] | None = None,
+        config: EnvConfig = PAPER_CONFIG,
+        executor: Executor | None = None,
+        seed: int = 0,
+        start_method: str | None = None,
+    ):
+        if num_envs < 1:
+            raise ValueError("need at least one environment")
+        self.config = config
+        #: parent-side merge target for :meth:`sync_timing_caches`
+        self.executor = executor or CachingExecutor()
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = mp.get_context(start_method)
+        self._parents = []
+        self._processes = []
+        for index in range(num_envs):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_async_env_worker,
+                args=(child_conn, config, benchmark_provider, seed + index),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._parents.append(parent_conn)
+            self._processes.append(process)
+        self._observations: list[Observation | None] = [None] * num_envs
+        self._feature = feature_size(config)
+        self._closed = False
+
+    @property
+    def num_envs(self) -> int:
+        return len(self._processes)
+
+    # -- worker protocol --------------------------------------------------------
+
+    def _send(self, index: int, message: tuple) -> None:
+        if self._closed:
+            raise RuntimeError("async vector environment is closed")
+        self._parents[index].send(message)
+
+    def _recv(self, index: int):
+        status, payload = self._parents[index].recv()
+        if status != "ok":
+            # Other workers may still have queued replies; a later recv
+            # would read them against the wrong command.  The pool's
+            # pipe protocol is desynchronized — tear it down so the next
+            # use fails loudly (and PPOTrainer starts a fresh pool).
+            self.close()
+            raise RuntimeError(f"worker {index} failed: {payload}")
+        return payload
+
+    # -- VecMlirRlEnv interface -------------------------------------------------
+
+    def reset(
+        self, funcs: Sequence[FuncOp | None] | None = None
+    ) -> VecObservation:
+        """Start new episodes; slots beyond ``len(funcs)`` stay idle."""
+        if funcs is None:
+            funcs = [None] * self.num_envs
+        if len(funcs) > self.num_envs:
+            raise ValueError(
+                f"{len(funcs)} functions for {self.num_envs} environments"
+            )
+        for index, func in enumerate(funcs):
+            self._send(index, ("reset", func))
+        self._observations = [None] * self.num_envs
+        for index in range(len(funcs)):
+            self._observations[index] = _unpack_observation(self._recv(index))
+        return self._stack()
+
+    def step(self, actions: Sequence[EnvAction | None]) -> VecStepResult:
+        """Apply one action per environment (None for finished slots)."""
+        if len(actions) != self.num_envs:
+            raise ValueError(
+                f"{len(actions)} actions for {self.num_envs} environments"
+            )
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: list[dict] = [{} for _ in range(self.num_envs)]
+        stepped = []
+        for index, action in enumerate(actions):
+            if self._observations[index] is None:
+                if action is not None:
+                    raise ValueError(
+                        f"environment {index} already finished its episode"
+                    )
+                dones[index] = True
+                continue
+            if action is None:
+                raise ValueError(f"environment {index} expects an action")
+            self._send(index, ("step", action))
+            stepped.append(index)
+        for index in stepped:
+            packed, reward, done, info = self._recv(index)
+            self._observations[index] = _unpack_observation(packed)
+            rewards[index] = reward
+            dones[index] = done
+            infos[index] = info
+        return VecStepResult(self._stack(), rewards, dones, infos)
+
+    def final_speedup(self, index: int) -> float:
+        self._send(index, ("final_speedup",))
+        return float(self._recv(index))
+
+    # -- cache sync / lifecycle -------------------------------------------------
+
+    def sync_timing_caches(self) -> int:
+        """Exchange new timing-cache entries between all workers.
+
+        Pulls each worker's (and the parent executor's) entries added
+        since the last sync, merges them, and pushes the union back, so
+        a baseline or schedule timed once in any process is a hit
+        everywhere.  Returns the number of distinct entries exchanged.
+        """
+        updates: list = []
+        cache = getattr(self.executor, "cache", None)
+        if cache is not None:
+            updates.extend(cache.drain_updates())
+        for index in range(self.num_envs):
+            self._send(index, ("cache_drain",))
+        for index in range(self.num_envs):
+            updates.extend(self._recv(index))
+        if not updates:
+            return 0
+        merged: dict = {}
+        for level, key, value in updates:
+            merged.setdefault((level, key), (level, key, value))
+        deduped = list(merged.values())
+        for index in range(self.num_envs):
+            self._send(index, ("cache_absorb", deduped))
+        for index in range(self.num_envs):
+            self._recv(index)
+        if cache is not None:
+            cache.absorb_updates(deduped)
+        return len(deduped)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for parent in self._parents:
+            try:
+                parent.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for parent in self._parents:
+            try:
+                parent.recv()
+            except (EOFError, OSError):
+                pass
+            parent.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    def __enter__(self) -> "AsyncVecMlirRlEnv":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

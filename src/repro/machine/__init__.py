@@ -13,6 +13,7 @@ from .service import (
     CacheStats,
     CachingExecutor,
     ExecutionCache,
+    func_fingerprint,
     nest_fingerprint,
     pooled_executor,
     reset_pool,
@@ -69,6 +70,7 @@ __all__ = [
     "nests_time",
     "op_flops",
     "operand_bytes",
+    "func_fingerprint",
     "pooled_executor",
     "reset_pool",
     "simulate_nest",

@@ -7,8 +7,10 @@ time through this module.
 
 Hot paths should prefer :class:`repro.machine.service.CachingExecutor`
 (or the process-wide :func:`repro.machine.service.pooled_executor`),
-which memoizes per-nest timings by structural fingerprint and returns
-bit-identical results.
+whose two-level cache returns bit-identical results: a schedule-keyed
+level that replays whole-function timings without lowering at all, over
+a per-nest structural-fingerprint LRU that shares identical nests
+across schedules.
 """
 
 from __future__ import annotations

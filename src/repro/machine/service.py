@@ -7,7 +7,7 @@ re-timing identical schedules: every episode re-times the same baseline,
 every pointer sub-step and no-op re-times an unchanged schedule, and
 evaluation suites time the same nests across methods.
 
-This module removes that redundancy:
+This module removes that redundancy with a two-level cache:
 
 * :func:`nest_fingerprint` — a canonical structural key for a lowered
   nest: loop structure (dim/trip/span/parallel/vector/unroll flags), access
@@ -15,30 +15,43 @@ This module removes that redundancy:
   body costs, reduction dims, and the full fused-producer tree with
   recompute factors.  Two nests with equal fingerprints are
   indistinguishable to the cost model.
-* :class:`ExecutionCache` — a bounded LRU from (machine spec,
-  fingerprint) to :class:`~repro.machine.timing.TimingBreakdown`, with
-  hit/miss/eviction counters.
+* :func:`func_fingerprint` — a structural fingerprint of a whole
+  function's unscheduled ops (canonical value ids capture the
+  producer→consumer links).  Combined with
+  :meth:`~repro.transforms.pipeline.ScheduledFunction.schedule_key` it
+  keys the **schedule level**: a hit replays the stored whole-function
+  timing without calling ``lower_function`` or ``nest_fingerprint`` at
+  all — the per-step fast path of RL data collection.
+* :class:`ExecutionCache` — both LRUs plus hit/miss/eviction counters,
+  lock-protected, with :meth:`~ExecutionCache.drain_updates` /
+  :meth:`~ExecutionCache.absorb_updates` to ship (identity-free,
+  picklable) entries between rollout worker processes.
 * :class:`CachingExecutor` — a drop-in :class:`~repro.machine.executor.
-  Executor` that routes every per-nest timing through the cache.  Cached
-  and uncached results are bit-identical (the cache stores the exact
-  breakdown the model produced).
+  Executor` that consults the schedule level first and falls back to
+  per-nest timings through the nest level.  Cached and uncached results
+  are bit-identical (the cache stores the exact breakdown the model
+  produced).
 * :func:`pooled_executor` — a per-spec shared ``CachingExecutor`` so
   independent consumers (baselines, evaluation runners, vectorized
-  environments) share one cache within a process.
+  environments) share one cache within a process.  Thread-safe; forked
+  children start from an empty pool.
 
-The cache key is the full fingerprint tuple, not its hash, so structurally
-different nests can never collide.
+Cache keys are full structural tuples, not hashes, so different nests or
+schedules can never collide.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..ir.ops import FuncOp
 from ..transforms.loop_nest import LoweredNest
-from ..transforms.lowering import lower_baseline
+from ..transforms.lowering import access_patterns, lower_baseline
 from ..transforms.pipeline import ScheduledFunction
+from ..transforms.registry import lowering_hooks
 from .executor import ExecutionResult, Executor
 from .spec import XEON_E5_2680_V4, MachineSpec
 from .timing import TimingBreakdown, nest_time
@@ -123,13 +136,95 @@ def nest_fingerprint(nest: LoweredNest) -> Fingerprint:
     return _fingerprint_with(nest, _canonical_tensor_ids(nest))
 
 
+_FUNC_FP_ATTR = "_repro_struct_fingerprint"
+
+
+def func_fingerprint(func: FuncOp) -> Fingerprint | None:
+    """Structural fingerprint of a function's unscheduled ops.
+
+    Canonicalizes every value id to its first-appearance index across
+    the whole body (operands then results, in body order), so two
+    separately built but structurally identical functions — including
+    their producer→consumer links, the input of the schedule-level
+    cache's fusion semantics — share a fingerprint.  Cached on the
+    function object (revalidated against the tuple of body op ids, so an
+    appended op invalidates it).  Returns None when an op cannot be
+    fingerprinted; callers then skip the schedule-keyed fast path.
+    """
+    token = tuple(id(op) for op in func.body)
+    cached = getattr(func, _FUNC_FP_ATTR, None)
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    try:
+        value_ids: dict[int, int] = {}
+
+        def canonical(value: object) -> int:
+            raw = id(value)
+            if raw not in value_ids:
+                value_ids[raw] = len(value_ids)
+            return value_ids[raw]
+
+        ops = []
+        for op in func.body:
+            for value in op.operands:
+                canonical(value)
+            for value in op.results:
+                canonical(value)
+            accesses = tuple(
+                (
+                    access.tensor_shape,
+                    access.element_bytes,
+                    access.matrix,
+                    access.is_write,
+                    value_ids[access.tensor_id],
+                )
+                for access in access_patterns(op)
+            )
+            ops.append(
+                (
+                    op.num_loops,
+                    tuple(op.loop_bounds()),
+                    accesses,
+                    tuple(value_ids[id(result)] for result in op.results),
+                    op.body.flops_per_point(),
+                    op.body.arith_uops_per_point(),
+                    tuple(op.reduction_dims()),
+                )
+            )
+        fingerprint: Fingerprint = tuple(ops)
+    except Exception:
+        return None
+    setattr(func, _FUNC_FP_ATTR, (token, fingerprint))
+    return fingerprint
+
+
+def _active_lowering_hooks() -> tuple[str, ...]:
+    """Names of registered lowering hooks, part of every schedule key.
+
+    Registering a plugin that post-processes lowered loops changes what
+    a schedule state lowers to, so cached schedule-level entries from
+    before the registration must not be replayed.
+    """
+    return tuple(sorted(spec.name for spec in lowering_hooks()))
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss telemetry of one :class:`ExecutionCache`."""
+    """Hit/miss telemetry of one :class:`ExecutionCache`.
+
+    ``hits``/``misses`` count timing lookups wherever they are resolved:
+    a schedule-level hit (whole function replayed without lowering)
+    counts one hit; a schedule-level miss falls through to per-nest
+    lookups which count individually.  The ``schedule_*`` fields break
+    out the schedule level on its own.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+    schedule_evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -150,44 +245,184 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            "schedule_hits": self.schedule_hits,
+            "schedule_misses": self.schedule_misses,
+            "schedule_evictions": self.schedule_evictions,
         }
 
 
 class ExecutionCache:
-    """Bounded LRU from (spec, nest fingerprint) to a timing breakdown."""
+    """Two-level LRU of timing results.
 
-    def __init__(self, maxsize: int = 8192):
+    * **nest level** — (spec, :func:`nest_fingerprint`) → per-nest
+      :class:`TimingBreakdown`.  Requires lowering the schedule and
+      fingerprinting each nest, but shares structurally identical nests
+      across schedules and functions.
+    * **schedule level** — (spec, :func:`func_fingerprint`,
+      :meth:`~repro.transforms.pipeline.ScheduledFunction.schedule_key`)
+      → the summed function breakdown.  A hit skips ``lower_function``
+      and ``nest_fingerprint`` entirely (the per-step fast path); a miss
+      falls back to the nest level, so results are bit-identical either
+      way.
+
+    Both keys are identity-free structural tuples, so entries are valid
+    across processes — :meth:`drain_updates`/:meth:`absorb_updates`
+    ship them between rollout workers.  All mutation is lock-protected,
+    so one cache may be shared across threads.
+    """
+
+    def __init__(self, maxsize: int = 8192, schedule_maxsize: int | None = None):
         if maxsize < 1:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = maxsize
+        #: None → follow ``maxsize``; 0 disables the schedule level
+        #: (nest-level-only behavior, the pre-fast-path semantics).
+        self.schedule_maxsize = (
+            maxsize if schedule_maxsize is None else schedule_maxsize
+        )
         self._entries: OrderedDict[tuple, TimingBreakdown] = OrderedDict()
+        self._schedule_entries: OrderedDict[tuple, TimingBreakdown] = (
+            OrderedDict()
+        )
+        #: keys inserted locally since the last drain (for worker sync).
+        #: Journaling starts at the first :meth:`drain_updates` call —
+        #: the default single-process path never drains, and must not
+        #: accumulate one key per miss for the process lifetime.
+        self._updates: list[tuple[str, tuple]] = []
+        self._journaling = False
+        self._journal_overflow = False
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def schedule_entries(self) -> int:
+        return len(self._schedule_entries)
 
     def timed(
         self, spec: MachineSpec, nest: LoweredNest
     ) -> TimingBreakdown:
         """The breakdown of ``nest`` under ``spec``, computed on miss."""
         key = (spec, nest_fingerprint(nest))
-        hit = self._entries.get(key)
-        if hit is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return hit
-        self.stats.misses += 1
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return hit
+            self.stats.misses += 1
         breakdown = nest_time(
             nest, spec, skip_tensor_ids=nest.fused_skip_ids()
         )
-        self._entries[key] = breakdown
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = breakdown
+            self._journal("nest", key)
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return breakdown
 
+    def _journal(self, level: str, key: tuple) -> None:
+        """Record an insert for the next drain (caller holds the lock)."""
+        if not self._journaling:
+            return
+        self._updates.append((level, key))
+        if len(self._updates) > self.maxsize + self.schedule_maxsize:
+            # A consumer started draining but stopped: drop the journal
+            # and fall back to a full export on the next drain.
+            self._updates.clear()
+            self._journal_overflow = True
+
+    # -- schedule level ---------------------------------------------------------
+
+    def schedule_get(self, key: tuple) -> TimingBreakdown | None:
+        """Cached whole-function breakdown for a schedule key, if any."""
+        if self.schedule_maxsize < 1:
+            return None
+        with self._lock:
+            hit = self._schedule_entries.get(key)
+            if hit is None:
+                self.stats.schedule_misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.schedule_hits += 1
+            self._schedule_entries.move_to_end(key)
+            return hit
+
+    def schedule_put(self, key: tuple, breakdown: TimingBreakdown) -> None:
+        if self.schedule_maxsize < 1:
+            return
+        with self._lock:
+            self._schedule_entries[key] = breakdown
+            self._journal("schedule", key)
+            if len(self._schedule_entries) > self.schedule_maxsize:
+                self._schedule_entries.popitem(last=False)
+                self.stats.schedule_evictions += 1
+
+    # -- cross-worker sync ------------------------------------------------------
+
+    def drain_updates(self) -> list[tuple[str, tuple, TimingBreakdown]]:
+        """Entries inserted locally since the last drain (still present).
+
+        The returned (level, key, breakdown) triples are structural and
+        picklable — parallel rollout workers exchange them to keep their
+        caches warm with each other's timings.  The first drain (and any
+        drain after a journal overflow) exports everything currently
+        cached, so a late-joining consumer still gets the full state.
+        """
+        with self._lock:
+            if not self._journaling or self._journal_overflow:
+                self._journaling = True
+                self._journal_overflow = False
+                self._updates.clear()
+                return [
+                    ("nest", key, value)
+                    for key, value in self._entries.items()
+                ] + [
+                    ("schedule", key, value)
+                    for key, value in self._schedule_entries.items()
+                ]
+            out = []
+            for level, key in self._updates:
+                store = (
+                    self._entries if level == "nest"
+                    else self._schedule_entries
+                )
+                value = store.get(key)
+                if value is not None:
+                    out.append((level, key, value))
+            self._updates.clear()
+            return out
+
+    def absorb_updates(
+        self, updates: list[tuple[str, tuple, TimingBreakdown]]
+    ) -> int:
+        """Insert foreign entries (no stats, no re-journal); returns how
+        many were new."""
+        added = 0
+        with self._lock:
+            for level, key, value in updates:
+                if level == "schedule":
+                    if self.schedule_maxsize < 1:
+                        continue
+                    store, cap = self._schedule_entries, self.schedule_maxsize
+                else:
+                    store, cap = self._entries, self.maxsize
+                if key in store:
+                    continue
+                store[key] = value
+                added += 1
+                if len(store) > cap:
+                    store.popitem(last=False)
+        return added
+
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._schedule_entries.clear()
+            self._updates.clear()
 
 
 class CachingExecutor(Executor):
@@ -222,15 +457,52 @@ class CachingExecutor(Executor):
             total = total + self.cache.timed(self.spec, nest)
         return ExecutionResult(total.total, total)
 
+    def _baseline_key(self, func: FuncOp) -> tuple | None:
+        fingerprint = func_fingerprint(func)
+        if fingerprint is None:
+            return None
+        return ("baseline", self.spec, fingerprint, _active_lowering_hooks())
+
+    def _schedule_key(self, scheduled: ScheduledFunction) -> tuple | None:
+        fingerprint = func_fingerprint(scheduled.func)
+        if fingerprint is None:
+            return None
+        state = scheduled.schedule_key()
+        if state is None:
+            return None
+        return (
+            "scheduled",
+            self.spec,
+            fingerprint,
+            state,
+            _active_lowering_hooks(),
+        )
+
     def run_baseline(self, func: FuncOp) -> ExecutionResult:
-        nests = [lower_baseline(op) for op in func.body]
-        return self._timed_nests(nests)
+        key = self._baseline_key(func)
+        if key is not None:
+            hit = self.cache.schedule_get(key)
+            if hit is not None:
+                return ExecutionResult(hit.total, hit)
+        result = self._timed_nests([lower_baseline(op) for op in func.body])
+        if key is not None:
+            self.cache.schedule_put(key, result.breakdown)
+        return result
 
     def run_scheduled(self, scheduled: ScheduledFunction) -> ExecutionResult:
-        return self._timed_nests(scheduled.lower())
+        key = self._schedule_key(scheduled)
+        if key is not None:
+            hit = self.cache.schedule_get(key)
+            if hit is not None:
+                return ExecutionResult(hit.total, hit)
+        result = self._timed_nests(scheduled.lower())
+        if key is not None:
+            self.cache.schedule_put(key, result.breakdown)
+        return result
 
 
 _POOL: dict[MachineSpec, CachingExecutor] = {}
+_POOL_LOCK = threading.Lock()
 
 
 def pooled_executor(spec: MachineSpec = XEON_E5_2680_V4) -> CachingExecutor:
@@ -238,14 +510,35 @@ def pooled_executor(spec: MachineSpec = XEON_E5_2680_V4) -> CachingExecutor:
 
     Baselines, evaluation runners, and vectorized environments that time
     the same functions all hit one cache instead of recomputing.
+    Thread-safe: concurrent callers get the same executor (whose cache
+    is itself lock-protected), and forked children start from an empty
+    pool rather than mutating an LRU shared with the parent's threads.
     """
-    executor = _POOL.get(spec)
-    if executor is None:
-        executor = CachingExecutor(spec)
-        _POOL[spec] = executor
-    return executor
+    with _POOL_LOCK:
+        executor = _POOL.get(spec)
+        if executor is None:
+            executor = CachingExecutor(spec)
+            _POOL[spec] = executor
+        return executor
 
 
 def reset_pool() -> None:
     """Drop all pooled executors (test isolation)."""
+    with _POOL_LOCK:
+        _POOL.clear()
+
+
+def _reset_pool_after_fork() -> None:
+    """Give forked children a fresh pool (and a fresh, unheld lock).
+
+    A child forked mid-``pooled_executor`` would otherwise inherit a
+    lock held by a parent thread that does not exist in the child, and
+    would share cache *state* sized/counted for the parent process.
+    """
+    global _POOL_LOCK
+    _POOL_LOCK = threading.Lock()
     _POOL.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)

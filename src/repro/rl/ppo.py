@@ -47,6 +47,15 @@ class PPOConfig:
     #: Episodes collected concurrently through a VecMlirRlEnv (one policy
     #: forward per vector step instead of one per env); 1 = sequential.
     num_envs: int = 1
+    #: Rollout worker processes.  1 keeps collection in-process (the
+    #: seed-exact path); N > 1 steps episodes through a persistent
+    #: :class:`~repro.env.vector.AsyncVecMlirRlEnv` pool of
+    #: ``max(num_envs, num_workers)`` slots with cross-worker
+    #: timing-cache sync.  Like ``num_envs`` > 1, the parallel collector
+    #: draws per-episode generators up front, so RNG consumption differs
+    #: from sequential collection — but is identical between the async
+    #: pool and an equally sized in-process vector env.
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_envs < 1:
@@ -54,6 +63,12 @@ class PPOConfig:
                 f"PPOConfig.num_envs must be >= 1, got {self.num_envs}; "
                 "use 1 for sequential collection or N > 1 for batched "
                 "vec-env rollouts"
+            )
+        if self.num_workers < 1:
+            raise ValueError(
+                f"PPOConfig.num_workers must be >= 1, got "
+                f"{self.num_workers}; use 1 for in-process collection or "
+                "N > 1 for a multiprocessing rollout pool"
             )
         if self.samples_per_iteration < 1:
             raise ValueError(
@@ -118,15 +133,19 @@ class PPOTrainer:
         self.sampler = sampler
         self.config = config
         self.rng = np.random.default_rng(seed)
+        self._pool_seed = seed
         parameters = list(agent.policy.parameters()) + list(
             agent.value.parameters()
         )
         self.optimizer = Adam(parameters, lr=config.learning_rate)
         self.history = TrainingHistory()
+        self._async_env = None
 
     # -- collection ------------------------------------------------------------
 
     def collect(self) -> list[Trajectory]:
+        if self.config.num_workers > 1:
+            return self._collect_parallel()
         if self.config.num_envs > 1:
             return self._collect_vectorized()
         trajectories = []
@@ -160,6 +179,58 @@ class PPOTrainer:
             )
             remaining -= batch
         return trajectories
+
+    def _parallel_env(self):
+        """The persistent multiprocessing rollout pool (lazily started).
+
+        A pool torn down by a worker failure is replaced on the next
+        collection instead of reused with a desynchronized protocol.
+        """
+        if self._async_env is not None and self._async_env.closed:
+            self._async_env = None
+        if self._async_env is None:
+            from ..env.vector import AsyncVecMlirRlEnv
+
+            self._async_env = AsyncVecMlirRlEnv(
+                max(self.config.num_envs, self.config.num_workers),
+                config=self.env.config,
+                executor=self.env.executor,
+                seed=self._pool_seed,
+            )
+        return self._async_env
+
+    def _collect_parallel(self) -> list[Trajectory]:
+        """Collect the iteration's episodes through the worker pool.
+
+        Identical draws to :meth:`_collect_vectorized` with the same
+        width — the policy forwards and all sampling stay in the parent,
+        only env stepping crosses the process boundary — so async and
+        in-process vectorized collection produce identical episodes.
+        Timing caches are synced after every batch: a baseline computed
+        by one worker is a hit for every other worker from then on.
+        """
+        vec_env = self._parallel_env()
+        trajectories: list[Trajectory] = []
+        remaining = self.config.samples_per_iteration
+        while remaining > 0:
+            batch = min(vec_env.num_envs, remaining)
+            funcs = [self.sampler(self.rng) for _ in range(batch)]
+            rngs = [
+                np.random.default_rng(int(self.rng.integers(0, 2**63)))
+                for _ in range(batch)
+            ]
+            trajectories.extend(
+                collect_episodes_batched(vec_env, self.agent, funcs, rngs)
+            )
+            vec_env.sync_timing_caches()
+            remaining -= batch
+        return trajectories
+
+    def close(self) -> None:
+        """Shut down the rollout worker pool, if one was started."""
+        if self._async_env is not None:
+            self._async_env.close()
+            self._async_env = None
 
     # -- update ---------------------------------------------------------------
 
@@ -262,13 +333,14 @@ class FlatPPOTrainer(PPOTrainer):
         config: PPOConfig = PPOConfig(),
         seed: int = 0,
     ):
-        if config.num_envs > 1:
+        if config.num_envs > 1 or config.num_workers > 1:
             # Fail loudly instead of silently collecting sequentially:
             # the flat agent has no batched-act path (yet).
             raise ValueError(
                 "the flat action-space trainer collects sequentially; "
-                f"PPOConfig.num_envs={config.num_envs} is not supported "
-                "— use num_envs=1 or the hierarchical backend"
+                f"PPOConfig(num_envs={config.num_envs}, "
+                f"num_workers={config.num_workers}) is not supported "
+                "— use 1/1 or the hierarchical backend"
             )
         super().__init__(env, agent, sampler, config, seed)  # type: ignore[arg-type]
 

@@ -146,13 +146,19 @@ def collect_episodes_batched(
     episode (``agent.act_batch``) instead of one per environment.  With
     per-env generators the sampled trajectories match N sequential
     :func:`collect_episode` calls on identically-seeded generators.
+
+    ``funcs`` may be shorter than the vector width when the env supports
+    partial resets (the async pool does): surplus slots sit the batch
+    out, so a persistent pool can collect a tail batch smaller than
+    itself.
     """
-    if len(funcs) != vec_env.num_envs or len(rngs) != vec_env.num_envs:
+    episodes = len(funcs)
+    if episodes > vec_env.num_envs or len(rngs) != episodes:
         raise ValueError("need one function and one rng per environment")
     trajectories = [Trajectory() for _ in funcs]
     vec_obs = vec_env.reset(list(funcs))
     for _ in range(_step_limit(vec_env.config, max_steps)):
-        indices = [i for i in range(vec_env.num_envs) if vec_obs.active[i]]
+        indices = [i for i in range(episodes) if vec_obs.active[i]]
         if not indices:
             break
         observations = [vec_obs.observation_of(i) for i in indices]
@@ -173,7 +179,7 @@ def collect_episodes_batched(
             if result.dones[index]:
                 trajectory.speedup = result.infos[index].get("speedup", 1.0)
         vec_obs = result.observation
-    for index in range(vec_env.num_envs):
+    for index in range(episodes):
         if vec_obs.active[index]:
             trajectories[index].speedup = vec_env.final_speedup(index)
     return trajectories

@@ -55,6 +55,32 @@ class ScheduledFunction:
         """Lower all (non-fused) ops of the function."""
         return lower_function(self.func, self._schedules)
 
+    def schedule_key(self) -> tuple | None:
+        """A hashable snapshot of the whole function's schedule state.
+
+        One :meth:`~repro.transforms.scheduled_op.ScheduledOp.state_key`
+        entry per body op (None for ops never scheduled, i.e. baseline
+        lowering), with fused-producer links resolved to body positions
+        so the key is identity-free.  Combined with a structural function
+        fingerprint this keys the schedule-level execution cache: equal
+        keys lower to structurally identical nest lists, so cached
+        timings can be replayed without lowering at all.  Returns None
+        when the state cannot be keyed (e.g. a fused producer outside
+        the function body) — callers then use the uncached path.
+        """
+        op_index = {id(op): i for i, op in enumerate(self.func.body)}
+        parts = []
+        for op in self.func.body:
+            schedule = self._schedules.get(id(op))
+            if schedule is None:
+                parts.append(None)
+                continue
+            try:
+                parts.append(schedule.state_key(op_index))
+            except KeyError:
+                return None
+        return tuple(parts)
+
     def clone(self) -> "ScheduledFunction":
         """Deep copy of all schedule state (for search agents).
 

@@ -93,6 +93,12 @@ class PluginKind(int):
     def __repr__(self) -> str:
         return f"PluginKind({int(self)}, {self.name!r})"
 
+    def __reduce__(self):
+        # Default int-subclass pickling bypasses __new__ and drops the
+        # name; masks carrying plugin kinds cross process boundaries in
+        # the async vector env, so rebuild explicitly.
+        return (PluginKind, (int(self), self.name))
+
 
 @dataclass(frozen=True)
 class HeadSpec:

@@ -30,6 +30,25 @@ class TransformError(ValueError):
     """Raised when a transformation cannot be applied."""
 
 
+def freeze_annotations(value: object) -> object:
+    """A hashable canonical form of plugin annotation state.
+
+    Dicts/sets are sorted, lists become tuples, primitives pass through;
+    anything else falls back to ``repr`` (stable for dataclasses)."""
+    if isinstance(value, dict):
+        return tuple(
+            (freeze_annotations(k), freeze_annotations(v))
+            for k, v in sorted(value.items(), key=lambda item: repr(item[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_annotations(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze_annotations(item) for item in value))
+    if isinstance(value, (int, float, bool, str, bytes)) or value is None:
+        return value
+    return repr(value)
+
+
 @dataclass
 class BandLoop:
     """One materialized tile loop: iterates ``trip`` tiles of ``tile`` points
@@ -122,6 +141,46 @@ class ScheduledOp:
         for dim in range(self.num_loops):
             points *= self.tile_trip(dim) * self.extents[dim]
         return points
+
+    def state_key(self, op_index: dict[int, int] | None = None) -> tuple:
+        """A hashable snapshot of everything lowering/masking reads.
+
+        Two ``ScheduledOp`` instances over structurally identical ops
+        with equal state keys lower to structurally identical nests (the
+        basis of the schedule-keyed execution cache) and expose the same
+        action masks.  ``op_index`` maps ``id(op)`` to the op's position
+        in its function body so fused-producer links are identity-free;
+        pass None for the per-op variant used by mask caching (fused
+        producers then contribute only their count — masks never read
+        producer identity).  Raises ``KeyError`` when a fused producer is
+        not in ``op_index`` (callers fall back to the uncached path).
+        """
+        bands = tuple(
+            (
+                band.parallel,
+                tuple(
+                    (loop.dim, loop.trip, loop.tile, loop.parallel)
+                    for loop in band.loops
+                ),
+            )
+            for band in self.bands
+        )
+        if op_index is None:
+            fused: object = len(self.fused)
+        else:
+            fused = tuple(
+                (op_index[id(entry.producer.op)], entry.band_index)
+                for entry in self.fused
+            )
+        return (
+            tuple(self.extents),
+            tuple(self.order),
+            bands,
+            self.vectorized,
+            self.fused_into is not None,
+            fused,
+            freeze_annotations(self.annotations),
+        )
 
     def clone_state(self) -> "ScheduledOp":
         """Deep-ish copy for search agents (shares the immutable op)."""
