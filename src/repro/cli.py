@@ -41,6 +41,15 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     write_json(rows4, out / "tab4_lqcd.json")
     write_json(run_tab2(), out / "tab2_dataset.json")
     write_json(run_tab5(), out / "tab5_models.json")
+    from .evaluation import run_generator_generalization
+
+    generalization = run_generator_generalization(fast=args.fast)
+    write_json(generalization, out / "generator_generalization.json")
+    print(
+        f"\ngenerator generalization: geomean "
+        f"{generalization['eval']['geomean']:.2f}x on Table-II operators "
+        f"(untrained control {generalization['eval']['untrained_geomean']:.2f}x)"
+    )
     print(f"\nresults written to {out}/")
     return 0
 
@@ -93,7 +102,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     from .datasets import training_sampler
     from .env import MlirRlEnv, small_config
-    from .rl import PPOConfig, get_backend, save_agent
+    from .rl import (
+        PPOConfig,
+        get_backend,
+        load_training_state,
+        save_agent,
+        save_training_state,
+    )
 
     config = small_config()
     if args.transforms:
@@ -122,7 +137,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     backend = get_backend(args.action_space, config)
     agent = backend.build_agent(rng, hidden_size=args.hidden)
     env = MlirRlEnv(config=config)
-    sampler = training_sampler(scale=args.scale, seed=args.seed)
+    sampler = training_sampler(
+        scale=args.scale,
+        seed=args.seed,
+        kind=args.dataset,
+        curriculum=args.curriculum,
+    )
     trainer = backend.trainer(
         env,
         agent,
@@ -135,17 +155,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
     )
+    resumed_from = 0
+    if args.resume:
+        try:
+            load_training_state(trainer, args.resume)
+        except (ValueError, OSError) as error:
+            print(f"cannot resume from {args.resume}: {error}")
+            return 1
+        resumed_from = trainer.iteration
+        print(f"resumed from {args.resume} at iteration {resumed_from}")
+    state_path = args.state or f"{args.checkpoint}.state.npz"
+    if not state_path.endswith(".npz"):
+        state_path += ".npz"  # np.savez appends it; keep the printed
+        # path and a later --resume consistent with the file on disk
     try:
-        history = trainer.train(args.iterations)
+        # State is written every iteration, so a killed run keeps a
+        # resumable snapshot at its last completed iteration boundary.
+        history = trainer.train(args.iterations, state_path=state_path)
     finally:
         trainer.close()
-    for stats in history.iterations:
+    for stats in history.iterations[resumed_from:]:
         print(
             f"iter {stats.iteration:3d}: speedup "
             f"{stats.geomean_speedup:6.2f}x reward {stats.mean_reward:7.3f}"
         )
     save_agent(agent, args.checkpoint)
-    print(f"checkpoint saved to {args.checkpoint}")
+    if not history.iterations:
+        save_training_state(trainer, state_path)
+    print(
+        f"checkpoint saved to {args.checkpoint} "
+        f"(resumable state: {state_path})"
+    )
     _print_cache_stats(env.executor)
     return 0
 
@@ -298,6 +338,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated extra registered transformations to "
         "append to the paper's six (e.g. 'unrolling'); default "
         "action space is unchanged",
+    )
+    train.add_argument(
+        "--dataset",
+        choices=("table2", "generated", "mixed"),
+        default="table2",
+        help="training corpus: the paper's fixed Table-II mixture, "
+        "freshly generated random loop-nest programs, or a 50/50 blend",
+    )
+    train.add_argument(
+        "--curriculum",
+        type=int,
+        default=0,
+        help="episodes per curriculum stage for generated programs "
+        "(warmup -> single -> chains -> deep); 0 disables staging and "
+        "samples the full generator distribution",
+    )
+    train.add_argument(
+        "--resume",
+        default=None,
+        help="resume from a training state saved by a previous run "
+        "(the .state.npz next to the checkpoint); restores weights, "
+        "optimizer moments, RNG streams, iteration counter, and "
+        "curriculum stage, so the run continues bit-identically",
+    )
+    train.add_argument(
+        "--state",
+        default=None,
+        help="where to write the resumable training state "
+        "(default: <checkpoint>.state.npz)",
     )
     train.add_argument("--hidden", type=int, default=64)
     train.add_argument("--scale", type=float, default=0.01)

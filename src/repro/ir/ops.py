@@ -422,6 +422,44 @@ class FuncOp:
         return producers[-1]
 
 
+def clone_func(func: FuncOp) -> FuncOp:
+    """A structurally identical, object-identity-fresh copy of ``func``.
+
+    Every :class:`Value` and :class:`LinalgOp` is a new object; the
+    immutable pieces (tensor types, affine maps, iterator types, scalar
+    bodies) are shared.  Use-def relations are remapped so the clone's
+    SSA graph is isolated: schedules, caches, and memo attributes
+    attached to one copy can never leak into another.  Value names are
+    preserved, so the clone prints identically to the original.
+    """
+    mapping: dict[int, Value] = {}
+
+    def remap(value: Value) -> Value:
+        mapped = mapping.get(id(value))
+        if mapped is None:
+            mapped = Value(value.type, value.name, synthetic=value.synthetic)
+            mapping[id(value)] = mapped
+        return mapped
+
+    clone = FuncOp(func.name, [remap(a) for a in func.arguments])
+    for op in func.body:
+        copied = LinalgOp(
+            name=op.name,
+            kind=op.kind,
+            inputs=[remap(v) for v in op.inputs],
+            outputs=[remap(v) for v in op.outputs],
+            indexing_maps=list(op.indexing_maps),
+            iterator_types=list(op.iterator_types),
+            body=op.body,
+        )
+        for original, fresh in zip(op.results, copied.results):
+            fresh.name = original.name
+            mapping[id(original)] = fresh
+        clone.append(copied)
+    clone.returns = [remap(v) for v in func.returns]
+    return clone
+
+
 @dataclass(eq=False)
 class ModuleOp:
     """A module: a named collection of functions."""

@@ -8,7 +8,12 @@ from .backends import (
     HierarchicalBackend,
     get_backend,
 )
-from .checkpoint import load_agent, save_agent
+from .checkpoint import (
+    load_agent,
+    load_training_state,
+    save_agent,
+    save_training_state,
+)
 from .gae import compute_gae, normalize_advantages
 from .policy import FlatPolicyNetwork, PolicyNetwork, ValueNetwork
 from .ppo import (
@@ -51,6 +56,8 @@ __all__ = [
     "collect_flat_episode",
     "compute_gae",
     "load_agent",
+    "load_training_state",
     "normalize_advantages",
     "save_agent",
+    "save_training_state",
 ]

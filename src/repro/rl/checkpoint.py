@@ -1,40 +1,183 @@
-"""Checkpointing: save/load agent weights as ``.npz`` archives."""
+"""Checkpointing.
+
+Two levels:
+
+* :func:`save_agent` / :func:`load_agent` — policy + value weights
+  only, for deploying a trained agent;
+* :func:`save_training_state` / :func:`load_training_state` — the full
+  trainer state needed to *resume* a run bit-identically: weights,
+  Adam first/second moments and step counter, the trainer's RNG stream,
+  the iteration counter, the accumulated ``TrainingHistory``, and the
+  curriculum sampler's position.  Restoring only the weights (the old
+  behavior) silently reinitialized the optimizer moments and RNG, so a
+  "resumed" run diverged from an uninterrupted one.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 from .agent import ActorCritic
+from .ppo import IterationStats, PPOTrainer
+
+
+def _collect_parameters(
+    arrays: dict[str, np.ndarray], prefix: str, parameters
+) -> None:
+    """Stage ``parameters`` into ``arrays`` as ``<prefix>_<i>`` entries."""
+    for index, parameter in enumerate(parameters):
+        arrays[f"{prefix}_{index}"] = parameter.data
+
+
+def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write an npz archive atomically (temp file + rename).
+
+    The per-iteration training-state snapshot overwrites its previous
+    self; a kill landing mid-write must never leave a truncated archive
+    as the only resumable state.
+    """
+    if path.suffix != ".npz":
+        # np.savez appends .npz to extension-less paths; mirror that so
+        # the rename target matches what callers will later np.load.
+        path = path.with_name(path.name + ".npz")
+    temporary = path.with_name(path.name + ".tmp.npz")
+    np.savez_compressed(temporary, **arrays)
+    os.replace(temporary, path)
 
 
 def save_agent(agent: ActorCritic, path: str | Path) -> None:
     """Serialize policy + value parameters to an npz archive."""
     arrays: dict[str, np.ndarray] = {}
-    for index, parameter in enumerate(agent.policy.parameters()):
-        arrays[f"policy_{index}"] = parameter.data
-    for index, parameter in enumerate(agent.value.parameters()):
-        arrays[f"value_{index}"] = parameter.data
-    np.savez_compressed(Path(path), **arrays)
+    _collect_parameters(arrays, "policy", agent.policy.parameters())
+    _collect_parameters(arrays, "value", agent.value.parameters())
+    _atomic_savez(Path(path), arrays)
+
+
+def _restore_parameters(archive, prefix: str, parameters) -> None:
+    """Copy ``<prefix>_<i>`` arrays over ``parameters`` (shapes must
+    match)."""
+    for index, parameter in enumerate(parameters):
+        array = archive[f"{prefix}_{index}"]
+        if parameter.data.shape != array.shape:
+            raise ValueError(
+                f"{prefix} parameter {index}: checkpoint shape "
+                f"{array.shape} != model shape {parameter.data.shape}"
+            )
+        parameter.data = array.copy()
 
 
 def load_agent(agent: ActorCritic, path: str | Path) -> None:
     """Restore parameters saved by :func:`save_agent` (shapes must match)."""
     archive = np.load(Path(path))
-    for index, parameter in enumerate(agent.policy.parameters()):
-        array = archive[f"policy_{index}"]
-        if parameter.data.shape != array.shape:
+    _restore_parameters(archive, "policy", agent.policy.parameters())
+    _restore_parameters(archive, "value", agent.value.parameters())
+
+
+# ---------------------------------------------------------------------------
+# Full training state (resumable runs)
+# ---------------------------------------------------------------------------
+
+#: Bumped on any layout change of the training-state archive.
+TRAINING_STATE_VERSION = 1
+
+
+def save_training_state(trainer: PPOTrainer, path: str | Path) -> None:
+    """Serialize everything needed to resume ``trainer`` bit-identically.
+
+    The archive holds the agent weights, the Adam moments (``m``/``v``
+    per parameter) and step counter, the trainer RNG's bit-generator
+    state, the iteration counter, the full ``TrainingHistory``, and —
+    when the sampler exposes ``state_dict`` (e.g.
+    :class:`~repro.datasets.generator.CurriculumSampler`) — the
+    curriculum position.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    agent = trainer.agent
+    _collect_parameters(arrays, "policy", agent.policy.parameters())
+    _collect_parameters(arrays, "value", agent.value.parameters())
+    optimizer = trainer.optimizer
+    for index, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        arrays[f"adam_m_{index}"] = m
+        arrays[f"adam_v_{index}"] = v
+    metadata = {
+        "version": TRAINING_STATE_VERSION,
+        "adam_t": optimizer._t,
+        "iteration": trainer.iteration,
+        "sampler_kind": type(trainer.sampler).__name__,
+        "rng_state": trainer.rng.bit_generator.state,
+        "history": [vars(stats) for stats in trainer.history.iterations],
+    }
+    sampler_state = getattr(trainer.sampler, "state_dict", None)
+    if callable(sampler_state):
+        # Recorded even when empty: a state-aware sampler saved with no
+        # position (e.g. mixed without curriculum) must still be
+        # distinguishable on load from one saved *with* a position.
+        metadata["sampler_state"] = sampler_state()
+    arrays["metadata_json"] = np.array(json.dumps(metadata))
+    _atomic_savez(Path(path), arrays)
+
+
+def load_training_state(trainer: PPOTrainer, path: str | Path) -> dict:
+    """Restore a state saved by :func:`save_training_state`.
+
+    ``trainer`` must be constructed exactly as the saved one (same
+    config, agent architecture, sampler kind); afterwards, calling
+    ``trainer.train(n)`` continues the run as if it had never stopped.
+    Returns the archive's metadata dict.
+    """
+    archive = np.load(Path(path), allow_pickle=False)
+    if "metadata_json" not in archive:
+        raise ValueError(
+            f"{path} is not a training state (no metadata); it looks "
+            "like a weights-only checkpoint — resumable states are the "
+            ".state.npz files written next to the weights"
+        )
+    metadata = json.loads(str(archive["metadata_json"]))
+    version = metadata.get("version")
+    if version != TRAINING_STATE_VERSION:
+        raise ValueError(
+            f"training-state version {version} != supported "
+            f"{TRAINING_STATE_VERSION}"
+        )
+    saved_kind = metadata.get("sampler_kind")
+    current_kind = type(trainer.sampler).__name__
+    if saved_kind is not None and saved_kind != current_kind:
+        raise ValueError(
+            f"training state was saved with a {saved_kind} sampler but "
+            f"the trainer has a {current_kind} — resuming on a different "
+            "corpus would silently diverge; construct the trainer with "
+            "the same --dataset/--curriculum it was saved with"
+        )
+    _restore_parameters(archive, "policy", trainer.agent.policy.parameters())
+    _restore_parameters(archive, "value", trainer.agent.value.parameters())
+    optimizer = trainer.optimizer
+    for index, parameter in enumerate(optimizer.parameters):
+        for prefix, store in (("adam_m", optimizer._m), ("adam_v", optimizer._v)):
+            array = archive[f"{prefix}_{index}"]
+            if array.shape != parameter.data.shape:
+                raise ValueError(
+                    f"{prefix}_{index}: checkpoint shape {array.shape} != "
+                    f"parameter shape {parameter.data.shape}"
+                )
+            store[index] = array.copy()
+    optimizer._t = int(metadata["adam_t"])
+    trainer.rng.bit_generator.state = metadata["rng_state"]
+    trainer.iteration = int(metadata["iteration"])
+    trainer.history.iterations = [
+        IterationStats(**stats) for stats in metadata["history"]
+    ]
+    sampler_state = metadata.get("sampler_state")
+    if sampler_state is not None:
+        load_state = getattr(trainer.sampler, "load_state_dict", None)
+        if not callable(load_state):
             raise ValueError(
-                f"policy parameter {index}: checkpoint shape {array.shape} "
-                f"!= model shape {parameter.data.shape}"
+                "checkpoint carries a curriculum sampler state but the "
+                "trainer's sampler has no load_state_dict — construct "
+                "the trainer with the same sampler kind it was saved with"
             )
-        parameter.data = array.copy()
-    for index, parameter in enumerate(agent.value.parameters()):
-        array = archive[f"value_{index}"]
-        if parameter.data.shape != array.shape:
-            raise ValueError(
-                f"value parameter {index}: checkpoint shape {array.shape} "
-                f"!= model shape {parameter.data.shape}"
-            )
-        parameter.data = array.copy()
+        load_state(sampler_state)
+    return metadata

@@ -139,6 +139,10 @@ class PPOTrainer:
         )
         self.optimizer = Adam(parameters, lr=config.learning_rate)
         self.history = TrainingHistory()
+        #: Global iteration counter; persists across :meth:`train` calls
+        #: (and checkpoint resume) so resumed runs continue numbering
+        #: where they stopped.
+        self.iteration = 0
         self._async_env = None
 
     # -- collection ------------------------------------------------------------
@@ -249,6 +253,27 @@ class PPOTrainer:
             returns.extend(ret)
         return steps, np.asarray(advantages), np.asarray(returns)
 
+    def _minibatches(self, indices: np.ndarray) -> list[np.ndarray]:
+        """Split shuffled indices into minibatches, consuming every one.
+
+        A trailing singleton is folded into the previous minibatch
+        instead of dropped — skipping it (the old behavior) permanently
+        discarded one transition per epoch whenever
+        ``len(steps) % minibatch_size == 1``.  Only a full batch of one
+        (a single transition total) is skipped: a singleton cannot be
+        batch-evaluated.
+        """
+        size = self.config.minibatch_size
+        batches = [
+            indices[start : start + size]
+            for start in range(0, len(indices), size)
+        ]
+        if batches and len(batches[-1]) < 2:
+            tail = batches.pop()
+            if batches:
+                batches[-1] = np.concatenate([batches[-1], tail])
+        return batches
+
     def update(self, trajectories: list[Trajectory]) -> tuple[float, float, float]:
         steps, advantages, returns = self._flatten(trajectories)
         advantages = normalize_advantages(advantages)
@@ -257,10 +282,7 @@ class PPOTrainer:
         policy_losses, value_losses, entropies = [], [], []
         for _ in range(self.config.update_epochs):
             self.rng.shuffle(indices)
-            for start in range(0, len(indices), self.config.minibatch_size):
-                batch = indices[start : start + self.config.minibatch_size]
-                if len(batch) < 2:
-                    continue
+            for batch in self._minibatches(indices):
                 mb_steps = [steps[i] for i in batch]
                 log_probs, entropy, values = self.agent.evaluate(mb_steps)
                 ratio = (log_probs - Tensor(old_log_probs[batch])).exp()
@@ -301,15 +323,31 @@ class PPOTrainer:
 
     # -- loop ------------------------------------------------------------------
 
-    def train(self, iterations: int) -> TrainingHistory:
-        for iteration in range(iterations):
+    def train(
+        self, iterations: int, state_path: str | None = None
+    ) -> TrainingHistory:
+        """Run ``iterations`` *further* training iterations.
+
+        Numbering continues from :attr:`iteration`, so training resumed
+        from a saved state (see :mod:`.checkpoint`) produces the same
+        ``TrainingHistory`` an uninterrupted run would.
+
+        With ``state_path``, the full training state is written there
+        after *every* iteration — each save lands on a consistent
+        iteration boundary, so a run killed mid-training loses at most
+        the in-flight iteration and resumes bit-identically from the
+        last completed one.
+        """
+        from .checkpoint import save_training_state  # avoid module cycle
+
+        for _ in range(iterations):
             start = time.perf_counter()
             trajectories = self.collect()
             policy_loss, value_loss, entropy = self.update(trajectories)
             wall = time.perf_counter() - start
             rewards = [sum(t.rewards) for t in trajectories]
             stats = IterationStats(
-                iteration=iteration,
+                iteration=self.iteration,
                 mean_reward=float(np.mean(rewards)),
                 geomean_speedup=_geomean([t.speedup for t in trajectories]),
                 policy_loss=policy_loss,
@@ -319,6 +357,9 @@ class PPOTrainer:
                 wall_seconds=wall,
             )
             self.history.iterations.append(stats)
+            self.iteration += 1
+            if state_path is not None:
+                save_training_state(self, state_path)
         return self.history
 
 

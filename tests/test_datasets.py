@@ -1,5 +1,7 @@
 """Tests for the workload generators."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -164,3 +166,79 @@ class TestRegistry:
         for case in evaluation_suite():
             func = case.build()
             func.verify_ssa()
+
+
+class TestSamplerIsolation:
+    """The fixed-dataset sampler hands out defensive copies: episodes
+    must never share live op objects (PR 3 memoizes per-op feature
+    blocks on the ops, so sharing would leak state across episodes and
+    workers)."""
+
+    def test_draws_never_share_op_objects(self):
+        sampler = training_sampler(scale=0.004, seed=0)
+        rng = np.random.default_rng(0)
+        seen_ops: set[int] = set()
+        # stored ops count too: handing one out would share live state
+        for func in sampler.dataset:
+            seen_ops.update(id(op) for op in func.body)
+        draws = 4 * len(sampler)  # guarantees repeated dataset indices
+        alive = []  # keep clones alive so ids cannot be recycled
+        for _ in range(draws):
+            func = sampler(rng)
+            alive.append(func)
+            for op in func.body:
+                assert id(op) not in seen_ops, (
+                    "sampler returned a previously handed-out op object"
+                )
+                seen_ops.add(id(op))
+
+    def test_copies_are_structurally_identical(self):
+        from repro.ir import ModuleOp, print_module
+
+        sampler = training_sampler(scale=0.004, seed=0)
+        index_rng = np.random.default_rng(3)
+        index = int(index_rng.integers(len(sampler)))
+        original = sampler.dataset[index]
+        copy = sampler(np.random.default_rng(3))
+        assert copy is not original
+        assert print_module(ModuleOp([copy])) == print_module(
+            ModuleOp([original])
+        )
+
+    def test_memo_attributes_do_not_leak_across_draws(self):
+        """Simulate PR 3's per-op memoization on one draw; the next draw
+        of the same function must come back clean."""
+        sampler = training_sampler(scale=0.004, seed=0)
+
+        class _FixedIndexRng:
+            def integers(self, *a, **k):
+                return 0
+
+            def random(self):
+                return 1.0
+
+        first = sampler(_FixedIndexRng())
+        for op in first.body:
+            op._repro_static_features = {"poisoned": True}
+        second = sampler(_FixedIndexRng())
+        for op in second.body:
+            assert not hasattr(op, "_repro_static_features")
+
+    def test_samplers_are_picklable(self):
+        """Fork workers carry samplers across the process boundary."""
+        for kind, curriculum in (
+            ("table2", 0),
+            ("generated", 0),
+            ("generated", 8),
+            ("mixed", 8),
+        ):
+            sampler = training_sampler(
+                scale=0.004, seed=0, kind=kind, curriculum=curriculum
+            )
+            clone = pickle.loads(pickle.dumps(sampler))
+            func = clone(np.random.default_rng(0))
+            func.verify_ssa()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown training-sampler"):
+            training_sampler(kind="nope")
