@@ -60,18 +60,18 @@ def _policy_actions(env, rng):
 
 
 def _run_episodes(env, factories, episodes, seed):
-    """Per-episode cost-model evaluation counts (cache misses)."""
+    """Per-episode cost-model evaluation counts (nest-level misses)."""
     rng = np.random.default_rng(seed)
     per_episode = []
     for index in range(episodes):
         func = factories[index % len(factories)]()
-        before = env.executor.stats.misses
+        before = env.executor.stats.evaluations
         env.reset(func)
         done = False
         while not done:
             result = env.step(_policy_actions(env, rng))
             done = result.done
-        per_episode.append(env.executor.stats.misses - before)
+        per_episode.append(env.executor.stats.evaluations - before)
     return per_episode
 
 

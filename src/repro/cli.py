@@ -16,12 +16,41 @@ import sys
 from pathlib import Path
 
 
+def _resolve_machines(name: str) -> "list | None":
+    """Registry specs for a ``--machine`` value (``all`` = round-robin).
+
+    Returns the resolved spec list, or None (with the registry's own
+    unknown-name message printed) when the name is unknown.
+    """
+    from .machine.registry import machine_names, spec
+
+    names = machine_names() if name == "all" else (name,)
+    try:
+        return [spec(entry) for entry in names]
+    except KeyError as error:
+        print(error.args[0])
+        return None
+
+
+def _add_machine_argument(parser, extra: str = "") -> None:
+    from .machine.registry import DEFAULT_MACHINE
+
+    parser.add_argument(
+        "--machine",
+        default=DEFAULT_MACHINE,
+        help="execution target: a machine-registry name (see "
+        "`repro.machine.registry`); default is the paper's Xeon "
+        "E5-2680 v4" + extra,
+    )
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     from .evaluation import (
         render_fig5,
         render_tab3,
         render_tab4,
         run_fig5,
+        run_hardware_generalization,
         run_tab2,
         run_tab3,
         run_tab4,
@@ -50,6 +79,18 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         f"{generalization['eval']['geomean']:.2f}x on Table-II operators "
         f"(untrained control {generalization['eval']['untrained_geomean']:.2f}x)"
     )
+    hardware = run_hardware_generalization(fast=args.fast)
+    write_json(hardware, out / "hardware_generalization.json")
+    print(
+        f"\nhardware generalization (trained on "
+        f"{hardware['train']['machine']}):"
+    )
+    for machine, row in hardware["eval"].items():
+        marker = " (train)" if row["trained_on"] else ""
+        print(
+            f"  {machine:20s} geomean {row['geomean']:6.2f}x "
+            f"(untrained {row['untrained_geomean']:.2f}x){marker}"
+        )
     print(f"\nresults written to {out}/")
     return 0
 
@@ -65,7 +106,19 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .evaluation import render_fig5, run_operator_suite
     from .evaluation.experiments import FIG5_METHOD_OPERATORS
 
-    methods = [BeamSearchAgent(), HalideRL(), PyTorchEager(), PyTorchCompiler()]
+    if args.machine == "all":
+        print("evaluate runs one machine at a time; pass a single name")
+        return 1
+    machines = _resolve_machines(args.machine)
+    if machines is None:
+        return 1
+    machine = machines[0]
+    methods = [
+        BeamSearchAgent(machine),
+        HalideRL(machine),
+        PyTorchEager(machine),
+        PyTorchCompiler(machine),
+    ]
     cases = evaluation_suite()
     if args.operator:
         cases = [c for c in cases if c.operator == args.operator]
@@ -73,6 +126,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print(f"no benchmark cases for operator {args.operator!r}")
             return 1
     suite = run_operator_suite(cases, methods, FIG5_METHOD_OPERATORS)
+    print(f"machine: {args.machine}")
     print(render_fig5(suite))
     if suite.cache is not None:
         # Per-suite delta (not process-lifetime pool stats).
@@ -80,7 +134,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print(
             f"execution cache: {suite.cache['hits']}/{requests} hits "
             f"({suite.cache['hit_rate']:.0%}), "
-            f"{suite.cache['misses']} cost-model evaluations"
+            f"{suite.cache['evaluations']} cost-model evaluations"
         )
     return 0
 
@@ -110,7 +164,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
         save_training_state,
     )
 
-    config = small_config()
+    from .machine.registry import DEFAULT_MACHINE
+
+    machines = _resolve_machines(args.machine)
+    if machines is None:
+        return 1
+    # Round-robin mixed-hardware training needs the observation to say
+    # which machine an episode ran on; single-machine runs may opt in
+    # (e.g. to later evaluate the checkpoint across the registry).
+    machine_features = args.machine_features or args.machine == "all"
+    first_machine = (
+        args.machine if args.machine != "all" else DEFAULT_MACHINE
+    )
+    config = small_config(
+        machine=first_machine, machine_features=machine_features
+    )
     if args.transforms:
         from .transforms.registry import actionable_transforms
 
@@ -154,6 +222,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             num_workers=args.workers,
         ),
         seed=args.seed,
+        machines=machines if len(machines) > 1 else None,
     )
     resumed_from = 0
     if args.resume:
@@ -262,12 +331,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     if factory is None:
         print(f"unknown target {args.target!r}; pick from {sorted(targets)}")
         return 1
+    if args.machine == "all":
+        print("optimize schedules for one machine; pass a single name")
+        return 1
+    machines = _resolve_machines(args.machine)
+    if machines is None:
+        return 1
+    machine = machines[0]
     func = factory()
-    baseline = MlirBaseline().seconds(func)
-    agent = GreedyAgent()
+    baseline = MlirBaseline(machine).seconds(func)
+    agent = GreedyAgent(machine)
     result = agent.run(func)
     print(
-        f"{args.target}: {baseline * 1e3:.2f} ms -> "
+        f"{args.target} on {args.machine}: {baseline * 1e3:.2f} ms -> "
         f"{result.seconds * 1e3:.2f} ms "
         f"({baseline / result.seconds:.2f}x)"
     )
@@ -302,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser("evaluate", help="run the Fig. 5 suite")
     evaluate.add_argument("--operator", default=None)
+    _add_machine_argument(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     train = commands.add_parser("train", help="train the PPO agent")
@@ -354,6 +431,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(warmup -> single -> chains -> deep); 0 disables staging and "
         "samples the full generator distribution",
     )
+    _add_machine_argument(
+        train,
+        extra="; 'all' trains round-robin across the whole registry "
+        "(one machine per iteration) with machine-conditioned "
+        "observations",
+    )
+    train.add_argument(
+        "--machine-features",
+        action="store_true",
+        help="append the target machine's hardware descriptor to every "
+        "observation even for single-machine training (implied by "
+        "--machine all); changes the observation layout, but legacy "
+        "checkpoints still load via the zero-padded compatibility path",
+    )
     train.add_argument(
         "--resume",
         default=None,
@@ -377,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize = commands.add_parser("optimize", help="schedule one target")
     optimize.add_argument("target")
     optimize.add_argument("--script", default=None)
+    _add_machine_argument(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
     profile = commands.add_parser(

@@ -73,6 +73,17 @@ class EnvConfig:
     #: Unroll-factor candidates of the ``unrolling`` plugin (ignored
     #: unless ``"unrolling"`` appears in ``transforms``).
     unroll_factors: tuple[int, ...] = (2, 4, 8)
+    #: Execution target: a :mod:`repro.machine.registry` name.  The
+    #: environment times rewards on this machine's spec (resolved when
+    #: the env builds its default executor).  The default is the
+    #: paper's Xeon, so unconfigured behavior is unchanged.
+    machine: str = "xeon-e5-2680-v4"
+    #: Append the target's normalized hardware descriptor
+    #: (:meth:`~repro.machine.spec.MachineSpec.features`) to every
+    #: observation vector, so one policy can condition on the machine
+    #: it is scheduling for.  Off by default: the observation layout —
+    #: and therefore checkpoints — stays bit-identical to the paper's.
+    machine_features: bool = False
 
     @property
     def num_tile_sizes(self) -> int:
@@ -97,6 +108,16 @@ class EnvConfig:
             raise ValueError(f"duplicate transforms in {self.transforms}")
         if any(factor < 2 for factor in self.unroll_factors):
             raise ValueError("unroll factors must be >= 2")
+        if not self.machine:
+            raise ValueError("machine name must be non-empty")
+
+    def machine_spec(self):
+        """The resolved :class:`~repro.machine.spec.MachineSpec` of
+        :attr:`machine` (imported lazily to keep this module
+        dependency-free)."""
+        from ..machine.registry import spec
+
+        return spec(self.machine)
 
     def with_transforms(self, *extra: str) -> "EnvConfig":
         """This config with ``extra`` transforms appended to the head."""

@@ -41,14 +41,20 @@ import numpy as np
 
 from ..ir.ops import FuncOp, LinalgOp
 from ..machine.executor import Executor
-from ..machine.service import CachingExecutor
+from ..machine.service import CachingExecutor, retargeted_executor
 from ..transforms.pipeline import ScheduledFunction
 from ..transforms.records import Transformation
 from ..transforms.registry import view_for
 from ..transforms.scheduled_op import ScheduledOp, TransformError
+from ..machine.spec import MachineSpec
 from .actions import EnvAction, decode_action
 from .config import EnvConfig, PAPER_CONFIG, RewardMode
-from .features import feature_size, op_features, zero_features
+from .features import (
+    feature_size,
+    machine_feature_vector,
+    op_features,
+    zero_features,
+)
 from .history import ActionHistory
 from .masking import ActionMask, MaskCache, compute_mask
 from .reward import RewardModel, RewardState
@@ -88,7 +94,11 @@ class MlirRlEnv:
     ):
         self.config = config
         self._view = view_for(config)
-        self.executor = executor or CachingExecutor()
+        #: The default executor times on the config's registered
+        #: machine (the paper Xeon unless ``EnvConfig.machine`` says
+        #: otherwise); an explicit executor wins and defines the true
+        #: target — observations condition on ``executor.spec``.
+        self.executor = executor or CachingExecutor(config.machine_spec())
         #: incremental _observe(): per-op static feature memos plus a
         #: mask LRU keyed by (op, schedule state, pointer state); False
         #: recomputes everything each step (the pre-fast-path behavior,
@@ -96,6 +106,7 @@ class MlirRlEnv:
         self._observation_cache = observation_cache
         self._mask_cache = MaskCache() if observation_cache else None
         self.reward_model = RewardModel(self.executor, config.reward_mode)
+        self._machine_vec = machine_feature_vector(config, self.executor.spec)
         self._provider = benchmark_provider
         self._func: FuncOp | None = None
         self.scheduled: ScheduledFunction | None = None
@@ -132,6 +143,34 @@ class MlirRlEnv:
         self._reward_state = self.reward_model.start_episode(self.scheduled)
         return self._observe()
 
+    def set_machine(
+        self, spec: MachineSpec | str, executor: Executor | None = None
+    ) -> None:
+        """Retarget the environment to another machine (spec or
+        registry name).
+
+        Replaces the executor with one timing on ``spec`` while keeping
+        the current timing cache (entries are spec-keyed, so warm
+        timings of other machines stay valid and can never be replayed
+        across specs) and refreshes the observation's machine block.
+        ``executor`` lets a vector env install one shared replacement
+        in every slot; it must already time on ``spec``.  Call between
+        episodes: the change takes effect at the next :meth:`reset` —
+        mid-episode the baseline already timed under the old spec would
+        corrupt rewards.
+        """
+        from ..machine.registry import spec as resolve_machine
+
+        spec = resolve_machine(spec)
+        if executor is None:
+            executor = retargeted_executor(self.executor, spec)
+        self.executor = executor
+        self.reward_model = RewardModel(
+            self.executor, self.config.reward_mode
+        )
+        self._machine_vec = machine_feature_vector(self.config, spec)
+        self._probe_memo = None
+
     @property
     def current_op(self) -> LinalgOp | None:
         return self._current
@@ -164,6 +203,7 @@ class MlirRlEnv:
                 self._history_of(producer.op),
                 self.config,
                 cache=cache,
+                machine=self._machine_vec,
             )
         else:
             producer_vec = zero_features(self.config)
@@ -184,7 +224,13 @@ class MlirRlEnv:
                 in_pointer_sequence=bool(self._pointer_placed),
             )
         return Observation(
-            consumer=op_features(schedule, history, self.config, cache=cache),
+            consumer=op_features(
+                schedule,
+                history,
+                self.config,
+                cache=cache,
+                machine=self._machine_vec,
+            ),
             producer=producer_vec,
             mask=mask,
         )

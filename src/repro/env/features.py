@@ -12,7 +12,12 @@ concatenation of:
   Fig. 2 (rank x (N + 1) coefficients, clipped and scaled);
 * **operations count**: counts of + - * / exp in the scalar body;
 * **action history**: the Appendix A tensors (owned by the environment
-  and passed in).
+  and passed in);
+* **machine descriptor** (only when ``EnvConfig.machine_features`` is
+  on): the execution target's normalized hardware vector
+  (:meth:`~repro.machine.spec.MachineSpec.features`), appended last so
+  one policy can condition on the machine it schedules for — and so
+  legacy checkpoints can be zero-padded into the extended layout.
 
 Everything is padded to the config's static sizes so vectors have a
 fixed length regardless of the op.
@@ -26,6 +31,7 @@ import numpy as np
 
 from ..ir.affine import AffineError
 from ..ir.ops import COUNTED_ARITH_KINDS, IteratorType, LinalgOp, OpKind
+from ..machine.spec import MACHINE_FEATURE_SIZE, MachineSpec
 from ..transforms.scheduled_op import ScheduledOp
 from ..transforms.vectorization import vectorization_precondition
 from .config import EnvConfig
@@ -147,11 +153,29 @@ def _static_op_parts(
     return parts
 
 
+def machine_feature_vector(
+    config: EnvConfig, spec: MachineSpec | None = None
+) -> np.ndarray | None:
+    """The observation's machine block, or None when disabled.
+
+    ``spec`` names the actual execution target (normally the env
+    executor's spec); without one the config's registered machine is
+    resolved.  Read-only, fixed :data:`~repro.machine.spec.
+    MACHINE_FEATURE_SIZE` length for every machine.
+    """
+    if not config.machine_features:
+        return None
+    if spec is None:
+        spec = config.machine_spec()
+    return spec.features()
+
+
 def op_features(
     schedule: ScheduledOp,
     history: ActionHistory,
     config: EnvConfig,
     cache: bool = True,
+    machine: np.ndarray | None = None,
 ) -> np.ndarray:
     """The full representation vector of one operation.
 
@@ -160,6 +184,10 @@ def op_features(
     version-keyed memo, so only the loop-range slice — the one part
     that tracks the live schedule — is rebuilt each call.  The output is
     bit-identical either way.
+
+    When the config enables :attr:`~repro.env.config.EnvConfig.
+    machine_features`, the machine block (``machine``, or the config's
+    registered target when omitted) is appended last.
     """
     op = schedule.op
     op_type, precondition, indexing, counts = _static_op_parts(
@@ -173,6 +201,10 @@ def op_features(
         counts,
         history.flatten(cache=cache),
     ]
+    if config.machine_features:
+        if machine is None:
+            machine = machine_feature_vector(config)
+        parts.append(machine)
     return np.concatenate(parts).astype(np.float32, copy=False)
 
 
@@ -194,6 +226,10 @@ def feature_size(config: EnvConfig) -> int:
             + config.max_arrays * config.max_rank * (n + 1)
             + len(COUNTED_ARITH_KINDS)
             + ActionHistory.feature_size(config)
+            # The machine block depends only on the flag, never on the
+            # machine name: every target shares one observation layout,
+            # which is what lets a single policy serve all of them.
+            + (MACHINE_FEATURE_SIZE if config.machine_features else 0)
         )
         _FEATURE_SIZE_MEMO[config] = size
     return size

@@ -26,7 +26,8 @@ import numpy as np
 
 from ..ir.ops import FuncOp
 from ..machine.executor import Executor
-from ..machine.service import CachingExecutor
+from ..machine.service import CachingExecutor, retargeted_executor
+from ..machine.spec import MachineSpec
 from .actions import EnvAction
 from .config import EnvConfig, PAPER_CONFIG
 from .environment import MlirRlEnv, Observation
@@ -126,7 +127,7 @@ class VecMlirRlEnv(_VectorEnvBase):
         if num_envs < 1:
             raise ValueError("need at least one environment")
         self.config = config
-        self.executor = executor or CachingExecutor()
+        self.executor = executor or CachingExecutor(config.machine_spec())
         self.envs = [
             MlirRlEnv(benchmark_provider, config, self.executor)
             for _ in range(num_envs)
@@ -137,6 +138,22 @@ class VecMlirRlEnv(_VectorEnvBase):
     @property
     def num_envs(self) -> int:
         return len(self.envs)
+
+    def set_machine(self, spec: MachineSpec | str) -> None:
+        """Retarget every member environment to a machine (spec or
+        registry name).
+
+        One fresh shared executor (keeping the current cache — entries
+        are spec-keyed) replaces the old one in all slots, preserving
+        the cross-episode timing sharing the vector env exists for.
+        Call between episodes, like :meth:`MlirRlEnv.set_machine`.
+        """
+        from ..machine.registry import spec as resolve_machine
+
+        spec = resolve_machine(spec)
+        self.executor = retargeted_executor(self.executor, spec)
+        for env in self.envs:
+            env.set_machine(spec, executor=self.executor)
 
     def reset(
         self, funcs: Sequence[FuncOp | None] | None = None
@@ -208,18 +225,34 @@ def _unpack_observation(payload) -> Observation | None:
     return Observation(consumer=consumer, producer=producer, mask=mask)
 
 
-def _async_env_worker(conn, config: EnvConfig, provider, seed: int) -> None:
+def _async_env_worker(
+    conn,
+    config: EnvConfig,
+    provider,
+    seed: np.random.SeedSequence,
+    machine: MachineSpec,
+) -> None:
     """One worker process hosting one :class:`MlirRlEnv`.
 
     Deterministic per-worker seeding: the global RNGs any benchmark
-    provider might use are seeded from the worker's assigned seed, so a
-    pool started twice with the same seed replays the same draws.
+    provider might use are seeded from the worker's spawned
+    :class:`~numpy.random.SeedSequence`, so a pool started twice with
+    the same base seed replays the same draws.  Spawned children (not
+    ``base + index`` offsets) keep pools with *different* base seeds on
+    provably disjoint streams — with plain offsets, pools seeded 0 and
+    1 ran workers 1.. and 0.. on the same RNG states.
+
+    ``machine`` is the spec the parent resolved from ``config.machine``
+    — shipped as a value (frozen, picklable) rather than re-resolved
+    here, so machines registered at runtime survive spawn-started
+    workers whose fresh interpreter only has the built-in registry.
     """
     import random
 
-    random.seed(seed)
-    np.random.seed(seed % (2**32))
-    env = MlirRlEnv(provider, config, CachingExecutor())
+    words = seed.generate_state(2)
+    random.seed(int(words[0]))
+    np.random.seed(int(words[1]))
+    env = MlirRlEnv(provider, config, CachingExecutor(machine))
     try:
         while True:
             message = conn.recv()
@@ -247,6 +280,9 @@ def _async_env_worker(conn, config: EnvConfig, provider, seed: int) -> None:
                     conn.send(("ok", env.executor.cache.drain_updates()))
                 elif command == "cache_absorb":
                     env.executor.cache.absorb_updates(message[1])
+                    conn.send(("ok", None))
+                elif command == "set_machine":
+                    env.set_machine(message[1])
                     conn.send(("ok", None))
                 elif command == "close":
                     conn.send(("ok", None))
@@ -300,18 +336,26 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
             raise ValueError("need at least one environment")
         self.config = config
         #: parent-side merge target for :meth:`sync_timing_caches`
-        self.executor = executor or CachingExecutor()
+        self.executor = executor or CachingExecutor(config.machine_spec())
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         context = mp.get_context(start_method)
         self._parents = []
         self._processes = []
+        worker_seeds = np.random.SeedSequence(seed).spawn(num_envs)
+        machine = config.machine_spec()
         for index in range(num_envs):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_async_env_worker,
-                args=(child_conn, config, benchmark_provider, seed + index),
+                args=(
+                    child_conn,
+                    config,
+                    benchmark_provider,
+                    worker_seeds[index],
+                    machine,
+                ),
                 daemon=True,
             )
             process.start()
@@ -398,6 +442,24 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
         return float(self._recv(index))
 
     # -- cache sync / lifecycle -------------------------------------------------
+
+    def set_machine(self, spec: MachineSpec | str) -> None:
+        """Retarget every worker (and the parent-side executor) to a
+        machine (spec or registry name — resolved here, so workers
+        receive the value and never re-consult their own registry).
+
+        Workers keep their warm timing caches — entries are spec-keyed,
+        so nothing ever replays across machines.  Call between
+        episodes, like :meth:`MlirRlEnv.set_machine`.
+        """
+        from ..machine.registry import spec as resolve_machine
+
+        spec = resolve_machine(spec)
+        for index in range(self.num_envs):
+            self._send(index, ("set_machine", spec))
+        for index in range(self.num_envs):
+            self._recv(index)
+        self.executor = retargeted_executor(self.executor, spec)
 
     def sync_timing_caches(self) -> int:
         """Exchange new timing-cache entries between all workers.

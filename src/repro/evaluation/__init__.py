@@ -6,6 +6,7 @@ from .experiments import (
     run_fig6,
     run_fig7,
     run_generator_generalization,
+    run_hardware_generalization,
     run_interchange_ablation,
     run_overhead,
     run_tab2,
@@ -42,6 +43,7 @@ __all__ = [
     "run_fig7",
     "run_function",
     "run_generator_generalization",
+    "run_hardware_generalization",
     "run_interchange_ablation",
     "run_operator_suite",
     "run_overhead",

@@ -139,7 +139,8 @@ def run_operator_suite(
         if getattr(owner.executor, "stats", None) is not None:
             executors[id(owner.executor)] = owner.executor
     starts = {
-        key: (e.stats.hits, e.stats.misses) for key, e in executors.items()
+        key: (e.stats.hits, e.stats.misses, e.stats.evaluations)
+        for key, e in executors.items()
     }
     for case in cases:
         func = case.build()
@@ -162,10 +163,15 @@ def run_operator_suite(
         misses = sum(
             e.stats.misses - starts[key][1] for key, e in executors.items()
         )
+        evaluations = sum(
+            e.stats.evaluations - starts[key][2]
+            for key, e in executors.items()
+        )
         total = hits + misses
         suite.cache = {
             "hits": hits,
             "misses": misses,
+            "evaluations": evaluations,
             "hit_rate": hits / total if total else 0.0,
         }
     return suite

@@ -27,7 +27,20 @@ from .kernels import (
     op_flops,
     operand_bytes,
 )
-from .spec import XEON_E5_2680_V4, CacheLevel, MachineSpec, laptop_spec
+from .registry import (
+    DEFAULT_MACHINE,
+    machine_names,
+    register_machine,
+    scaled_spec,
+    spec,
+)
+from .spec import (
+    MACHINE_FEATURE_SIZE,
+    XEON_E5_2680_V4,
+    CacheLevel,
+    MachineSpec,
+    laptop_spec,
+)
 from .timing import BodyCost, TimingBreakdown, body_cost, nest_time, nests_time
 from .traffic import (
     TrafficReport,
@@ -45,6 +58,8 @@ __all__ = [
     "CacheStats",
     "CachingExecutor",
     "COMPILED_DISPATCH_SECONDS",
+    "DEFAULT_MACHINE",
+    "MACHINE_FEATURE_SIZE",
     "EAGER_DISPATCH_SECONDS",
     "ExecutionCache",
     "ExecutionResult",
@@ -64,6 +79,7 @@ __all__ = [
     "iterate_points",
     "kernel_time",
     "laptop_spec",
+    "machine_names",
     "nest_fingerprint",
     "nest_time",
     "nest_traffic",
@@ -72,6 +88,9 @@ __all__ = [
     "operand_bytes",
     "func_fingerprint",
     "pooled_executor",
+    "register_machine",
     "reset_pool",
+    "scaled_spec",
     "simulate_nest",
+    "spec",
 ]

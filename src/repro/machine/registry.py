@@ -1,0 +1,180 @@
+"""Named registry of machine specs — the hardware axis of the environment.
+
+The paper evaluates on a single fixed machine (the Xeon E5-2680 v4 of
+§VI); this module opens that axis.  Every execution target the
+environment, baselines, CLI and experiments can time against is a named
+:class:`~repro.machine.spec.MachineSpec` here:
+
+* ``xeon-e5-2680-v4`` — the paper's evaluation node (the default; all
+  default paths resolve to the exact :data:`XEON_E5_2680_V4` singleton,
+  so single-machine behavior is unchanged);
+* ``laptop-8core``    — the small 8-core test machine;
+* ``epyc-7763-64core`` — a big-L3 server part: many cores, a huge
+  shared L3, wide DRAM;
+* ``edge-cortex-a72`` — a narrow-vector edge core: 4 cores, 16-byte
+  SIMD, one FMA port, two cache levels, thin DRAM.
+
+:func:`spec` resolves names (or passes specs through), :func:`scaled_spec`
+derives parametric variants (core count, frequency, cache and bandwidth
+scaling) for sweeps, and :func:`register_machine` admits new entries.
+Specs are frozen, hashable dataclasses: they key the per-spec
+:func:`~repro.machine.service.pooled_executor` pool and every
+:class:`~repro.machine.service.ExecutionCache` entry, so two registry
+machines can never replay each other's timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .spec import XEON_E5_2680_V4, CacheLevel, MachineSpec, laptop_spec
+
+#: The paper's machine — the default everywhere a name is accepted.
+DEFAULT_MACHINE = "xeon-e5-2680-v4"
+
+
+def _epyc_7763_spec() -> MachineSpec:
+    """A big-L3 server: AMD EPYC 7763-like (Zen 3, 64 cores, 256 MB L3)."""
+    return MachineSpec(
+        cores=64,
+        frequency=2.45e9,
+        vector_bytes=32,          # AVX2
+        fma_ports=2,
+        caches=(
+            CacheLevel("L1", 32 * 1024, False, 2.0e11, 2.0e11 * 64),
+            CacheLevel("L2", 512 * 1024, False, 8.0e10, 8.0e10 * 64),
+            CacheLevel("L3", 256 * 1024 * 1024, True, 2.5e10, 6.4e11),
+        ),
+        dram_bandwidth_per_core=1.0e10,
+        dram_bandwidth_cap=2.048e11,      # 8ch DDR4-3200
+    )
+
+
+def _edge_cortex_a72_spec() -> MachineSpec:
+    """A narrow-vector edge core: Cortex-A72-like (NEON, two cache levels)."""
+    return MachineSpec(
+        cores=4,
+        frequency=1.8e9,
+        vector_bytes=16,          # 128-bit NEON
+        fma_ports=1,
+        load_ports=1,
+        store_ports=1,
+        issue_width=3,
+        fp_latency=7,
+        parallel_launch_seconds=1e-5,
+        op_launch_seconds=1e-6,
+        caches=(
+            CacheLevel("L1", 32 * 1024, False, 4.0e10, 4.0e10 * 4),
+            CacheLevel("L2", 1024 * 1024, True, 1.5e10, 3.0e10),
+        ),
+        dram_bandwidth_per_core=6.0e9,
+        dram_bandwidth_cap=1.2e10,
+    )
+
+
+_REGISTRY: dict[str, Callable[[], MachineSpec]] = {
+    DEFAULT_MACHINE: lambda: XEON_E5_2680_V4,
+    "laptop-8core": laptop_spec,
+    "epyc-7763-64core": _epyc_7763_spec,
+    "edge-cortex-a72": _edge_cortex_a72_spec,
+}
+
+
+def machine_names() -> tuple[str, ...]:
+    """Registered machine names, default first, the rest sorted."""
+    rest = sorted(name for name in _REGISTRY if name != DEFAULT_MACHINE)
+    return (DEFAULT_MACHINE, *rest)
+
+
+def spec(machine: str | MachineSpec = DEFAULT_MACHINE) -> MachineSpec:
+    """Resolve a registry name to its spec (specs pass through).
+
+    The default name returns the exact :data:`XEON_E5_2680_V4` object,
+    so default-path consumers (pooled executors, caches, baselines) see
+    the identical spec they did before the registry existed.
+    """
+    if isinstance(machine, MachineSpec):
+        return machine
+    factory = _REGISTRY.get(machine)
+    if factory is None:
+        raise KeyError(
+            f"unknown machine {machine!r}; registered: "
+            f"{', '.join(machine_names())}"
+        )
+    return factory()
+
+
+def register_machine(
+    name: str,
+    factory: Callable[[], MachineSpec] | MachineSpec,
+    overwrite: bool = False,
+) -> None:
+    """Add a named machine to the registry.
+
+    ``factory`` may be a spec (registered as a constant) or a zero-arg
+    callable.  Re-registering an existing name requires ``overwrite``.
+    """
+    if not name:
+        raise ValueError("machine name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"machine {name!r} already registered; pass overwrite=True "
+            "to replace it"
+        )
+    if isinstance(factory, MachineSpec):
+        constant = factory
+        _REGISTRY[name] = lambda: constant
+    else:
+        _REGISTRY[name] = factory
+
+
+def scaled_spec(
+    base: str | MachineSpec = DEFAULT_MACHINE,
+    cores: int | None = None,
+    frequency: float | None = None,
+    cache_scale: float = 1.0,
+    bandwidth_scale: float = 1.0,
+    vector_bytes: int | None = None,
+) -> MachineSpec:
+    """A parametric variant of ``base`` for hardware sweeps.
+
+    ``cache_scale`` multiplies every cache level's capacity;
+    ``bandwidth_scale`` multiplies cache and DRAM bandwidths (per-core
+    and caps alike).  Core count, frequency and vector width override
+    directly.  The result is an ordinary frozen spec — hashable, cache-
+    and pool-keyable like any registry machine.
+    """
+    machine = spec(base)
+    if cache_scale <= 0 or bandwidth_scale <= 0:
+        raise ValueError("cache_scale and bandwidth_scale must be positive")
+    caches = tuple(
+        CacheLevel(
+            level.name,
+            max(1, int(level.capacity * cache_scale)),
+            level.shared,
+            level.bandwidth_per_core * bandwidth_scale,
+            level.bandwidth_cap * bandwidth_scale,
+        )
+        for level in machine.caches
+    )
+    overrides: dict = {
+        "caches": caches,
+        "dram_bandwidth_per_core": (
+            machine.dram_bandwidth_per_core * bandwidth_scale
+        ),
+        "dram_bandwidth_cap": machine.dram_bandwidth_cap * bandwidth_scale,
+    }
+    if cores is not None:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        overrides["cores"] = cores
+    if frequency is not None:
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        overrides["frequency"] = frequency
+    if vector_bytes is not None:
+        if vector_bytes < 1:
+            raise ValueError("vector_bytes must be >= 1")
+        overrides["vector_bytes"] = vector_bytes
+    return replace(machine, **overrides)

@@ -212,11 +212,15 @@ def _active_lowering_hooks() -> tuple[str, ...]:
 class CacheStats:
     """Hit/miss telemetry of one :class:`ExecutionCache`.
 
-    ``hits``/``misses`` count timing lookups wherever they are resolved:
-    a schedule-level hit (whole function replayed without lowering)
-    counts one hit; a schedule-level miss falls through to per-nest
-    lookups which count individually.  The ``schedule_*`` fields break
-    out the schedule level on its own.
+    ``hits``/``misses`` count timing lookups at *both* levels: a
+    schedule-level hit (whole function replayed without lowering)
+    counts one hit, a schedule-level miss counts one miss **and** falls
+    through to per-nest lookups which count individually.  The
+    ``schedule_*`` fields break out the schedule level on its own.
+    (An earlier accounting counted schedule hits but not schedule
+    misses, so ``hit_rate`` overstated cache efficiency — and
+    ``evaluations`` miscounted — whenever the schedule level missed but
+    the nest level hit.)
     """
 
     hits: int = 0
@@ -232,8 +236,10 @@ class CacheStats:
 
     @property
     def evaluations(self) -> int:
-        """Cost-model evaluations actually performed (= misses)."""
-        return self.misses
+        """Cost-model evaluations actually performed (nest-level
+        misses; a schedule-level miss alone evaluates nothing — it only
+        falls through)."""
+        return self.misses - self.schedule_misses
 
     @property
     def hit_rate(self) -> float:
@@ -243,6 +249,8 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "requests": self.requests,
+            "evaluations": self.evaluations,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
             "schedule_hits": self.schedule_hits,
@@ -317,7 +325,11 @@ class ExecutionCache:
             nest, spec, skip_tensor_ids=nest.fused_skip_ids()
         )
         with self._lock:
+            # move_to_end: a racing thread may have inserted this key
+            # meanwhile; plain assignment would keep the entry's stale
+            # LRU slot and let a fresh result be evicted as if old.
             self._entries[key] = breakdown
+            self._entries.move_to_end(key)
             self._journal("nest", key)
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
@@ -344,6 +356,7 @@ class ExecutionCache:
         with self._lock:
             hit = self._schedule_entries.get(key)
             if hit is None:
+                self.stats.misses += 1
                 self.stats.schedule_misses += 1
                 return None
             self.stats.hits += 1
@@ -355,7 +368,11 @@ class ExecutionCache:
         if self.schedule_maxsize < 1:
             return
         with self._lock:
+            # Re-inserting an existing key must refresh its recency:
+            # without move_to_end a re-put entry kept its stale LRU
+            # position and could be evicted as if it were the oldest.
             self._schedule_entries[key] = breakdown
+            self._schedule_entries.move_to_end(key)
             self._journal("schedule", key)
             if len(self._schedule_entries) > self.schedule_maxsize:
                 self._schedule_entries.popitem(last=False)
@@ -501,19 +518,42 @@ class CachingExecutor(Executor):
         return result
 
 
+def retargeted_executor(executor: Executor, spec: MachineSpec) -> Executor:
+    """A replacement for ``executor`` that times on ``spec``.
+
+    Caching executors keep their cache — entries are spec-keyed, so
+    warm timings of other machines stay valid and can never replay
+    across specs; plain executors are rebuilt on the new spec.  The
+    one ``set_machine`` retarget rule shared by every environment.
+    """
+    cache = getattr(executor, "cache", None)
+    if cache is not None:
+        return CachingExecutor(spec, cache=cache)
+    return type(executor)(spec)
+
+
 _POOL: dict[MachineSpec, CachingExecutor] = {}
 _POOL_LOCK = threading.Lock()
 
 
-def pooled_executor(spec: MachineSpec = XEON_E5_2680_V4) -> CachingExecutor:
+def pooled_executor(
+    spec: MachineSpec | str = XEON_E5_2680_V4,
+) -> CachingExecutor:
     """The process-wide shared caching executor for ``spec``.
 
     Baselines, evaluation runners, and vectorized environments that time
-    the same functions all hit one cache instead of recomputing.
-    Thread-safe: concurrent callers get the same executor (whose cache
-    is itself lock-protected), and forked children start from an empty
-    pool rather than mutating an LRU shared with the parent's threads.
+    the same functions all hit one cache instead of recomputing.  One
+    executor per machine spec — ``spec`` may also be a registry name
+    (see :mod:`repro.machine.registry`), so every consumer of the same
+    hardware scenario shares one pool entry.  Thread-safe: concurrent
+    callers get the same executor (whose cache is itself
+    lock-protected), and forked children start from an empty pool
+    rather than mutating an LRU shared with the parent's threads.
     """
+    if isinstance(spec, str):
+        from .registry import spec as resolve
+
+        spec = resolve(spec)
     with _POOL_LOCK:
         executor = _POOL.get(spec)
         if executor is None:

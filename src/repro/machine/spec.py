@@ -8,7 +8,23 @@ DRAM bandwidth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Cache levels the feature vector reserves room for; specs with fewer
+#: levels pad with zeros, specs with more are clipped (no realistic CPU
+#: model here exceeds four levels).
+MACHINE_FEATURE_CACHE_LEVELS = 4
+
+#: Length of :meth:`MachineSpec.features` — 11 scalar machine
+#: parameters, 4 per reserved cache level, and 2 DRAM terms.  A fixed
+#: layout across every spec, so one policy can be conditioned on any
+#: registered machine.
+MACHINE_FEATURE_SIZE = 11 + 4 * MACHINE_FEATURE_CACHE_LEVELS + 2
+
+_FEATURES_MEMO: dict["MachineSpec", np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,54 @@ class MachineSpec:
 
     def cache_bandwidth(self, level: CacheLevel, cores: int) -> float:
         return min(cores * level.bandwidth_per_core, level.bandwidth_cap)
+
+    def features(self) -> np.ndarray:
+        """Compact normalized hardware descriptor of this machine.
+
+        A fixed-length (:data:`MACHINE_FEATURE_SIZE`) float32 vector —
+        core count, frequency, vector/issue resources, per-level cache
+        capacities and bandwidths, and DRAM limits — log-compressed so
+        every component lands roughly in [0, 1] across realistic CPUs.
+        Appended to RL observations when
+        ``EnvConfig.machine_features`` is on, letting one policy
+        condition on the execution target.  Memoized per spec and
+        returned read-only.
+        """
+        cached = _FEATURES_MEMO.get(self)
+        if cached is not None:
+            return cached
+        values = [
+            math.log2(self.cores) / 8.0,
+            math.log2(1.0 + self.frequency / 1e9) / 3.0,
+            self.vector_bytes / 64.0,
+            self.fma_ports / 4.0,
+            self.load_ports / 4.0,
+            self.store_ports / 4.0,
+            self.issue_width / 8.0,
+            self.fp_latency / 16.0,
+            self.line_bytes / 128.0,
+            -math.log10(self.parallel_launch_seconds) / 10.0,
+            -math.log10(self.op_launch_seconds) / 10.0,
+        ]
+        for index in range(MACHINE_FEATURE_CACHE_LEVELS):
+            if index < len(self.caches):
+                level = self.caches[index]
+                values += [
+                    math.log2(level.capacity) / 30.0,
+                    1.0 if level.shared else 0.0,
+                    math.log2(level.bandwidth_per_core) / 40.0,
+                    math.log2(level.bandwidth_cap) / 40.0,
+                ]
+            else:
+                values += [0.0, 0.0, 0.0, 0.0]
+        values += [
+            math.log2(self.dram_bandwidth_per_core) / 40.0,
+            math.log2(self.dram_bandwidth_cap) / 40.0,
+        ]
+        features = np.asarray(values, dtype=np.float32)
+        features.setflags(write=False)
+        _FEATURES_MEMO[self] = features
+        return features
 
 
 #: The paper's evaluation machine.

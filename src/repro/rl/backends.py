@@ -78,8 +78,14 @@ class ActionSpaceBackend(ABC):
         sampler: Callable[[np.random.Generator], FuncOp],
         ppo_config: PPOConfig = PPOConfig(),
         seed: int = 0,
+        machines=None,
     ) -> PPOTrainer:
-        """A PPO trainer wired for this backend."""
+        """A PPO trainer wired for this backend.
+
+        ``machines`` (a sequence of machine specs) opts into
+        round-robin mixed-hardware training — see
+        :class:`~repro.rl.ppo.PPOTrainer`.
+        """
 
 
 class HierarchicalBackend(ActionSpaceBackend):
@@ -99,9 +105,10 @@ class HierarchicalBackend(ActionSpaceBackend):
         )
 
     def trainer(
-        self, env, agent, sampler, ppo_config=PPOConfig(), seed=0
+        self, env, agent, sampler, ppo_config=PPOConfig(), seed=0,
+        machines=None,
     ) -> PPOTrainer:
-        return PPOTrainer(env, agent, sampler, ppo_config, seed)
+        return PPOTrainer(env, agent, sampler, ppo_config, seed, machines)
 
 
 class FlatBackend(ActionSpaceBackend):
@@ -123,9 +130,12 @@ class FlatBackend(ActionSpaceBackend):
         )
 
     def trainer(
-        self, env, agent, sampler, ppo_config=PPOConfig(), seed=0
+        self, env, agent, sampler, ppo_config=PPOConfig(), seed=0,
+        machines=None,
     ) -> FlatPPOTrainer:
-        return FlatPPOTrainer(env, agent, sampler, ppo_config, seed)
+        return FlatPPOTrainer(
+            env, agent, sampler, ppo_config, seed, machines
+        )
 
 
 BACKENDS: dict[str, type[ActionSpaceBackend]] = {

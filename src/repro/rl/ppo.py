@@ -127,6 +127,7 @@ class PPOTrainer:
         sampler: Callable[[np.random.Generator], FuncOp],
         config: PPOConfig = PPOConfig(),
         seed: int = 0,
+        machines: "Sequence | None" = None,
     ):
         self.env = env
         self.agent = agent
@@ -134,6 +135,12 @@ class PPOTrainer:
         self.config = config
         self.rng = np.random.default_rng(seed)
         self._pool_seed = seed
+        #: Mixed-hardware training: machine specs visited round-robin,
+        #: one per iteration (iteration ``i`` collects on
+        #: ``machines[i % len]``, so a resumed run lands on the same
+        #: spec its uninterrupted twin would).  None — the default —
+        #: trains on the env's machine only, exactly as before.
+        self.machines = tuple(machines) if machines else None
         parameters = list(agent.policy.parameters()) + list(
             agent.value.parameters()
         )
@@ -201,6 +208,11 @@ class PPOTrainer:
                 executor=self.env.executor,
                 seed=self._pool_seed,
             )
+            # Fresh workers time on the config's registered machine; if
+            # the training env was retargeted (round-robin schedules,
+            # an explicit set_machine), bring them onto its spec.
+            if self.env.executor.spec != self.env.config.machine_spec():
+                self._async_env.set_machine(self.env.executor.spec)
         return self._async_env
 
     def _collect_parallel(self) -> list[Trajectory]:
@@ -229,6 +241,16 @@ class PPOTrainer:
             vec_env.sync_timing_caches()
             remaining -= batch
         return trajectories
+
+    def _apply_machine(self, spec) -> None:
+        """Point the training env (and any live worker pool) at ``spec``.
+
+        Timing caches survive the switch — entries are spec-keyed — so
+        revisiting a machine later in the round-robin stays warm.
+        """
+        self.env.set_machine(spec)
+        if self._async_env is not None and not self._async_env.closed:
+            self._async_env.set_machine(spec)
 
     def close(self) -> None:
         """Shut down the rollout worker pool, if one was started."""
@@ -341,6 +363,10 @@ class PPOTrainer:
         from .checkpoint import save_training_state  # avoid module cycle
 
         for _ in range(iterations):
+            if self.machines:
+                self._apply_machine(
+                    self.machines[self.iteration % len(self.machines)]
+                )
             start = time.perf_counter()
             trajectories = self.collect()
             policy_loss, value_loss, entropy = self.update(trajectories)
@@ -373,6 +399,7 @@ class FlatPPOTrainer(PPOTrainer):
         sampler: Callable[[np.random.Generator], FuncOp],
         config: PPOConfig = PPOConfig(),
         seed: int = 0,
+        machines: "Sequence | None" = None,
     ):
         if config.num_envs > 1 or config.num_workers > 1:
             # Fail loudly instead of silently collecting sequentially:
@@ -383,7 +410,7 @@ class FlatPPOTrainer(PPOTrainer):
                 f"num_workers={config.num_workers}) is not supported "
                 "— use 1/1 or the hierarchical backend"
             )
-        super().__init__(env, agent, sampler, config, seed)  # type: ignore[arg-type]
+        super().__init__(env, agent, sampler, config, seed, machines)  # type: ignore[arg-type]
 
     def collect(self) -> list[Trajectory]:
         trajectories = []

@@ -206,3 +206,79 @@ class TestCheckpoint:
         bigger = ActorCritic(CONFIG, rng, hidden_size=64)
         with pytest.raises(ValueError):
             load_agent(bigger, path)
+
+    def test_default_layout_archive_has_no_metadata(self, tmp_path):
+        """Default checkpoints keep the exact pre-registry key set, so
+        they stay interchangeable with old archives."""
+        agent = ActorCritic(CONFIG, np.random.default_rng(0), hidden_size=32)
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        assert "metadata_json" not in np.load(path).files
+
+    def test_legacy_checkpoint_zero_pads_into_conditioned_agent(
+        self, tmp_path
+    ):
+        """A pre-registry (unconditioned) checkpoint loads into a
+        machine-conditioned agent: the machine block's input weights
+        start at zero, so the padded network reproduces the legacy
+        network's outputs exactly."""
+        conditioned_config = small_config(machine_features=True)
+        legacy = ActorCritic(CONFIG, np.random.default_rng(0), hidden_size=32)
+        path = tmp_path / "legacy.npz"
+        save_agent(legacy, path)
+        wide = ActorCritic(
+            conditioned_config, np.random.default_rng(5), hidden_size=32
+        )
+        load_agent(wide, path)
+
+        legacy_env = MlirRlEnv(config=CONFIG)
+        conditioned_env = MlirRlEnv(config=conditioned_config)
+        legacy_obs = legacy_env.reset(_matmul_func())
+        conditioned_obs = conditioned_env.reset(_matmul_func())
+        legacy_heads = legacy.policy(
+            Tensor(legacy_obs.producer[None, :]),
+            Tensor(legacy_obs.consumer[None, :]),
+        )
+        wide_heads = wide.policy(
+            Tensor(conditioned_obs.producer[None, :]),
+            Tensor(conditioned_obs.consumer[None, :]),
+        )
+        for name, tensor_ in legacy_heads.items():
+            assert np.allclose(
+                np.asarray(tensor_.data),
+                np.asarray(wide_heads[name].data),
+                atol=0,
+            ), name
+
+    def test_conditioned_checkpoint_records_layout_and_rejects_narrow(
+        self, tmp_path
+    ):
+        conditioned_config = small_config(machine_features=True)
+        wide = ActorCritic(
+            conditioned_config, np.random.default_rng(0), hidden_size=32
+        )
+        path = tmp_path / "wide.npz"
+        save_agent(wide, path)
+        archive = np.load(path)
+        assert "metadata_json" in archive.files
+        import json
+
+        layout = json.loads(str(archive["metadata_json"]))["observation"]
+        assert layout["machine_features"] is True
+        narrow = ActorCritic(CONFIG, np.random.default_rng(1), hidden_size=32)
+        with pytest.raises(ValueError, match="machine-conditioned"):
+            load_agent(narrow, path)
+
+    def test_conditioned_roundtrip(self, tmp_path):
+        conditioned_config = small_config(machine_features=True)
+        agent = ActorCritic(
+            conditioned_config, np.random.default_rng(0), hidden_size=32
+        )
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        other = ActorCritic(
+            conditioned_config, np.random.default_rng(9), hidden_size=32
+        )
+        load_agent(other, path)
+        for a, b in zip(agent.policy.parameters(), other.policy.parameters()):
+            assert np.array_equal(a.data, b.data)

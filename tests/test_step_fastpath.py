@@ -401,5 +401,6 @@ class TestPooledExecutorSafety:
             thread.join()
         assert not errors
         stats = executor.stats
-        assert stats.hits + stats.misses == 6 * 25
-        assert stats.misses >= len(funcs)
+        # Every run_baseline resolves exactly one schedule-level lookup.
+        assert stats.schedule_hits + stats.schedule_misses == 6 * 25
+        assert stats.evaluations >= len(funcs)

@@ -117,6 +117,84 @@ class TestResume:
             fresh.sampler.state_dict() == trainer.sampler.state_dict()
         )
 
+    def test_legacy_state_resumes_into_conditioned_trainer(self, tmp_path):
+        """A pre-registry training state (no machine block) loads into a
+        machine-conditioned trainer via the zero-pad path: padded input
+        weights and Adam moments start at zero."""
+        trainer = _make_trainer()
+        trainer.train(1)
+        path = tmp_path / "state.npz"
+        save_training_state(trainer, path)
+
+        conditioned = small_config(machine_features=True)
+        rng = np.random.default_rng(0)
+        agent = ActorCritic(conditioned, rng, hidden_size=32)
+        env = MlirRlEnv(config=conditioned)
+        sampler = training_sampler(
+            scale=0.004, seed=0, kind="generated", curriculum=2
+        )
+        fresh = PPOTrainer(env, agent, sampler, PPO, seed=0)
+        load_training_state(fresh, path)
+        assert fresh.iteration == 1
+        # Every padded input-weight row and its moments start at zero.
+        legacy_rows = next(
+            iter(trainer.agent.policy.parameters())
+        ).data.shape[0]
+        padded = next(iter(fresh.agent.policy.parameters())).data
+        assert padded.shape[0] > legacy_rows
+        assert np.all(padded[legacy_rows:] == 0.0)
+        assert np.all(fresh.optimizer._m[0][legacy_rows:] == 0.0)
+        # Resuming keeps training without error on the wider layout.
+        fresh.train(1)
+
+    def test_resume_on_different_machine_rejected(self, tmp_path):
+        """Resuming must not silently retime rewards on other hardware."""
+        from repro.machine import spec
+
+        def trainer_on(machine):
+            rng = np.random.default_rng(0)
+            agent = ActorCritic(CONFIG, rng, hidden_size=32)
+            env = MlirRlEnv(config=small_config(machine=machine))
+            return PPOTrainer(
+                env, agent, lambda r: _matmul_func(), PPO, seed=0
+            )
+
+        trainer = trainer_on("laptop-8core")
+        trainer.train(1)
+        path = tmp_path / "state.npz"
+        save_training_state(trainer, path)
+        with pytest.raises(ValueError, match="different target machine"):
+            load_training_state(trainer_on("edge-cortex-a72"), path)
+        with pytest.raises(ValueError, match="different target machine"):
+            load_training_state(trainer_on("xeon-e5-2680-v4"), path)
+        load_training_state(trainer_on("laptop-8core"), path)  # matches
+
+        # Round-robin schedules must match too.
+        rng = np.random.default_rng(0)
+        agent = ActorCritic(CONFIG, rng, hidden_size=32)
+        env = MlirRlEnv(config=CONFIG)
+        robin = PPOTrainer(
+            env,
+            agent,
+            lambda r: _matmul_func(),
+            PPO,
+            seed=0,
+            machines=[spec(), spec("laptop-8core")],
+        )
+        robin.train(1)
+        robin_path = tmp_path / "robin.npz"
+        save_training_state(robin, robin_path)
+        rng = np.random.default_rng(0)
+        single = PPOTrainer(
+            MlirRlEnv(config=CONFIG),
+            ActorCritic(CONFIG, rng, hidden_size=32),
+            lambda r: _matmul_func(),
+            PPO,
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="round-robin"):
+            load_training_state(single, robin_path)
+
     def test_sampler_kind_mismatch_rejected(self, tmp_path):
         trainer = _make_trainer(kind="generated", curriculum=2)
         trainer.train(1)

@@ -90,7 +90,7 @@ class TestVecEnvBasics:
         """Identical functions across slots time their baseline once."""
         vec = VecMlirRlEnv(4, config=CONFIG)
         vec.reset([_matmul_func() for _ in range(4)])
-        assert vec.executor.stats.misses == 1
+        assert vec.executor.stats.evaluations == 1
         assert vec.executor.stats.hits >= 3
 
     def test_num_envs_validation(self):
@@ -246,4 +246,6 @@ class TestVectorizedPPO:
         )
         trainer.collect()
         stats = env.executor.stats
-        assert stats.hits > stats.misses  # baselines + probes mostly hit
+        # baselines + probes mostly hit: far fewer cost-model
+        # evaluations than resolved lookups
+        assert stats.hits > stats.evaluations
