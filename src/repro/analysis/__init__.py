@@ -1,0 +1,58 @@
+"""Static analysis over the mini-MLIR IR.
+
+Three layers, each built on the one below:
+
+* :mod:`.dependence` — affine dependence analysis: per-statement access
+  relations extracted from the ops' indexing maps, distance/direction
+  vectors per loop dimension, and a :class:`DependenceGraph` per
+  function;
+* :mod:`.verifier` — the schedule-legality verifier: re-derives the
+  legality of every transformation record from dependence vectors and
+  replays whole schedules (:func:`verify_schedule`);
+* :mod:`.differential` — the differential checker that cross-checks the
+  hand-written masking predicates and every applied action against the
+  analyzer (``EnvConfig.verify_transforms``), plus the generator-universe
+  sweep the CI acceptance gate runs.
+
+The analyzer is load-bearing, not a linter: the ``parallelization``
+transform plugin (:mod:`repro.transforms.parallelization`) takes its
+legality mask directly from :func:`analyze_op`.
+"""
+
+from .dependence import (
+    Dependence,
+    DependenceGraph,
+    DependenceKind,
+    FlowEdge,
+    OpDependences,
+    analyze_op,
+)
+from .differential import (
+    DifferentialChecker,
+    DifferentialDisagreement,
+    DifferentialStats,
+    differential_sweep,
+)
+from .verifier import (
+    Violation,
+    evaluate_scheduled_op_racy,
+    reduction_order_preserved,
+    verify_schedule,
+)
+
+__all__ = [
+    "Dependence",
+    "DependenceGraph",
+    "DependenceKind",
+    "DifferentialChecker",
+    "DifferentialDisagreement",
+    "DifferentialStats",
+    "FlowEdge",
+    "OpDependences",
+    "Violation",
+    "analyze_op",
+    "differential_sweep",
+    "evaluate_scheduled_op_racy",
+    "reduction_order_preserved",
+    "verify_schedule",
+]

@@ -6,6 +6,8 @@ Mirrors the paper artifact's shell scripts:
 * ``evaluate``  — run all methods on one benchmark suite;
 * ``train``     — train the PPO agent on the training mixture;
 * ``optimize``  — schedule one model/app and print the schedule script;
+* ``analyze``   — dependence report, schedule verification, or the
+  analyzer-vs-predicate differential sweep;
 * ``profile``   — cProfile one training epoch (top cumulative entries).
 """
 
@@ -307,8 +309,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    from .baselines import GreedyAgent, MlirBaseline
+def _named_targets() -> dict:
+    """The model/app functions addressable by name from the CLI."""
     from .datasets import (
         dibaryon_dibaryon,
         dibaryon_hexaquark,
@@ -317,9 +319,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         resnet18,
         vgg16,
     )
-    from .transforms.script import render_script
 
-    targets = {
+    return {
         "resnet18": resnet18,
         "vgg": vgg16,
         "mobilenet": mobilenet_v2,
@@ -327,6 +328,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         "dibaryon-dibaryon": dibaryon_dibaryon,
         "dibaryon-hexaquark": dibaryon_hexaquark,
     }
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .baselines import GreedyAgent, MlirBaseline
+    from .transforms.script import render_script
+
+    targets = _named_targets()
     factory = targets.get(args.target)
     if factory is None:
         print(f"unknown target {args.target!r}; pick from {sorted(targets)}")
@@ -351,6 +359,72 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         script = render_script(result.schedule)
         Path(args.script).write_text(script)
         print(f"schedule script written to {args.script}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Dependence-analysis report / schedule verification / sweep.
+
+    ``repro analyze <target>`` prints every op's dependence vectors and
+    the function's flow edges; ``--script`` additionally replays a
+    schedule script and reports the verifier's violations; ``--sweep N``
+    runs the analyzer-vs-predicate differential sweep over N generated
+    programs instead.
+    """
+    from .analysis import DependenceGraph, verify_schedule
+
+    if args.sweep:
+        from .analysis import differential_sweep
+
+        stats = differential_sweep(
+            num_programs=args.sweep,
+            seed=args.seed,
+            strict=not args.keep_going,
+        )
+        print(
+            f"sweep over {stats.programs} generated programs: "
+            f"{stats.masks_checked} masks and {stats.records_checked} "
+            f"applied records checked, {stats.disagreements} "
+            f"disagreement(s)"
+        )
+        for example in stats.examples:
+            print(f"  disagreement: {example}")
+        return 0 if stats.disagreements == 0 else 1
+
+    if not args.target:
+        print("analyze needs a target (or --sweep N)")
+        return 1
+    if args.target == "generated":
+        import numpy as np
+
+        from .datasets.generator import generate_program
+
+        func = generate_program(np.random.default_rng(args.seed))
+    else:
+        targets = _named_targets()
+        factory = targets.get(args.target)
+        if factory is None:
+            print(
+                f"unknown target {args.target!r}; pick from "
+                f"{sorted(targets) + ['generated']}"
+            )
+            return 1
+        func = factory()
+
+    graph = DependenceGraph.analyze(func)
+    print(graph.render())
+    if args.script:
+        from .transforms.script import apply_script
+
+        scheduled = apply_script(func, Path(args.script).read_text())
+        violations = verify_schedule(func, scheduled)
+        if not violations:
+            print(f"\nschedule {args.script}: no violations")
+            return 0
+        print(f"\nschedule {args.script}: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation.render()}")
+        return 1
     return 0
 
 
@@ -470,6 +544,40 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--script", default=None)
     _add_machine_argument(optimize)
     optimize.set_defaults(func=_cmd_optimize)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="dependence-analysis report / schedule verification",
+    )
+    analyze.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="a model/app name (as for `optimize`) or 'generated' "
+        "(one generator program, controlled by --seed)",
+    )
+    analyze.add_argument(
+        "--script",
+        default=None,
+        help="also replay this schedule script and report the "
+        "legality verifier's violations",
+    )
+    analyze.add_argument(
+        "--sweep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="instead of a report, differentially check masks and "
+        "random legal actions over N generated programs",
+    )
+    analyze.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="with --sweep: count disagreements instead of stopping "
+        "at the first one",
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.set_defaults(func=_cmd_analyze)
 
     profile = commands.add_parser(
         "profile", help="cProfile one training epoch"

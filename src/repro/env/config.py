@@ -84,6 +84,16 @@ class EnvConfig:
     #: it is scheduling for.  Off by default: the observation layout —
     #: and therefore checkpoints — stays bit-identical to the paper's.
     machine_features: bool = False
+    #: Differential-checker mode: cross-check every mask bit and every
+    #: applied transformation against the dependence analyzer
+    #: (:mod:`repro.analysis`) during env steps.  Off by default — the
+    #: default path computes no analysis and stays bit-identical.
+    verify_transforms: bool = False
+    #: With :attr:`verify_transforms` on: raise
+    #: :class:`~repro.analysis.differential.DifferentialDisagreement`
+    #: on any analyzer-vs-predicate disagreement (tests), or just log
+    #: and count it in ``info["verifier"]`` when False (training).
+    verify_raise: bool = True
 
     @property
     def num_tile_sizes(self) -> int:

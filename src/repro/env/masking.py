@@ -124,6 +124,7 @@ def mask_cache_key(
     has_producer: bool,
     pointer_placed: tuple[int, ...],
     in_pointer_sequence: bool,
+    config: EnvConfig | None = None,
 ) -> tuple:
     """The state a mask depends on, as a hashable key.
 
@@ -134,13 +135,33 @@ def mask_cache_key(
     :meth:`~repro.transforms.scheduled_op.ScheduledOp.state_key` and
     the pointer-sequence arguments.  Equal keys therefore yield equal
     masks.
+
+    When ``config`` is given, the key also pins the inputs masks take
+    from the configuration: the active transform tuple (different
+    action spaces produce different-shaped masks — a cache shared
+    across configs must not alias them), the differential-checker mode,
+    and — when any active spec's legality is dependence-analysis-backed
+    — the op's dependence fingerprint, so a mask can never go stale
+    relative to the analysis that produced it.  Omitting ``config``
+    keeps the seed key (per-config caches, the default env setup).
     """
-    return (
+    key: tuple = (
         schedule.op,
         schedule.state_key(),
         has_producer,
         pointer_placed,
         in_pointer_sequence,
+    )
+    if config is None:
+        return key
+    fingerprint = None
+    if view_for(config).analysis_backed:
+        from ..analysis.dependence import analyze_op
+
+        fingerprint = analyze_op(schedule.op).fingerprint()
+    return (
+        *key,
+        (config.transforms, config.verify_transforms, fingerprint),
     )
 
 
@@ -160,11 +181,55 @@ class MaskCache:
             raise ValueError("mask cache maxsize must be positive")
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, ActionMask] = OrderedDict()
+        #: id(config) -> (config, analysis_backed, static key suffix).
+        #: Holding the config object keeps its id stable; memoizing the
+        #: suffix keeps the per-lookup cost of the config-aware key at
+        #: one dict probe (hashing an EnvConfig per lookup is not free).
+        self._config_memo: dict[int, tuple[EnvConfig, bool, tuple]] = {}
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _key(
+        self,
+        schedule: ScheduledOp,
+        config: EnvConfig,
+        has_producer: bool,
+        pointer_placed: tuple[int, ...],
+        in_pointer_sequence: bool,
+    ) -> tuple:
+        """Same key as :func:`mask_cache_key` with ``config``, with the
+        config-derived parts memoized per config object."""
+        memo = self._config_memo.get(id(config))
+        if memo is None:
+            # Non-analysis-backed configs get their complete suffix
+            # precomputed (fingerprint is always None for them), so the
+            # common path pays one dict probe over the seed key.
+            memo = (
+                config,
+                view_for(config).analysis_backed,
+                (config.transforms, config.verify_transforms, None),
+            )
+            self._config_memo[id(config)] = memo
+        _, analysis_backed, suffix = memo
+        if analysis_backed:
+            from ..analysis.dependence import analyze_op
+
+            suffix = (
+                suffix[0],
+                suffix[1],
+                analyze_op(schedule.op).fingerprint(),
+            )
+        return (
+            schedule.op,
+            schedule.state_key(),
+            has_producer,
+            pointer_placed,
+            in_pointer_sequence,
+            suffix,
+        )
 
     def lookup(
         self,
@@ -174,8 +239,12 @@ class MaskCache:
         pointer_placed: tuple[int, ...] = (),
         in_pointer_sequence: bool = False,
     ) -> ActionMask:
-        key = mask_cache_key(
-            schedule, has_producer, pointer_placed, in_pointer_sequence
+        key = self._key(
+            schedule,
+            config,
+            has_producer,
+            pointer_placed,
+            in_pointer_sequence,
         )
         mask = self._entries.get(key)
         if mask is not None:

@@ -286,7 +286,7 @@ def _async_env_worker(
                     conn.send(("ok", None))
                 elif command == "close":
                     conn.send(("ok", None))
-                    break
+                    return
                 else:
                     conn.send(("error", f"unknown command {command!r}"))
             except Exception as error:  # surface worker-side failures

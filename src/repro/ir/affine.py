@@ -537,7 +537,7 @@ def _tokenize(text: str) -> list[str]:
 class _MapParser:
     """Recursive-descent parser for MLIR affine-map syntax."""
 
-    def __init__(self, tokens: list[str]):
+    def __init__(self, tokens: list[str]) -> None:
         self._tokens = tokens
         self._pos = 0
         self._dims: dict[str, int] = {}

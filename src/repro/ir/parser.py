@@ -71,7 +71,7 @@ _ARITH_BY_NAME = {kind.value: kind for kind in ArithKind}
 
 
 class _Parser:
-    def __init__(self, tokens: list[str]):
+    def __init__(self, tokens: list[str]) -> None:
         self._tokens = tokens
         self._pos = 0
 
@@ -230,7 +230,7 @@ class _Parser:
         body = self._parse_body()
         results: list[Value] = []
         if self._accept("->"):
-            for out in outputs:
+            for _ in outputs:
                 result_type = parse_tensor_type(self._next())
                 results.append(Value(result_type))
                 self._accept(",")

@@ -46,7 +46,9 @@ class _NameScope:
         try:
             return self._names[id(value)]
         except KeyError:
-            raise KeyError(f"value {value.name} printed before definition")
+            raise KeyError(
+                f"value {value.name} printed before definition"
+            ) from None
 
     def __contains__(self, value: Value) -> bool:
         return id(value) in self._names

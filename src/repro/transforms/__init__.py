@@ -33,6 +33,12 @@ from .lowering import (
     lower_function,
     lower_scheduled_op,
 )
+from .parallelization import (
+    Parallelize,
+    ParallelizationSpec,
+    apply_parallelization,
+    legal_parallel_positions,
+)
 from .pipeline import ScheduledFunction, apply_schedule
 from .records import (
     Interchange,
@@ -108,6 +114,8 @@ __all__ = [
     "MAX_VECTOR_INNER_TRIP",
     "MultiTiledFusion",
     "NoTransformation",
+    "Parallelize",
+    "ParallelizationSpec",
     "ScheduledFunction",
     "ScheduledOp",
     "TiledFusion",
@@ -121,6 +129,7 @@ __all__ = [
     "access_patterns",
     "apply_interchange",
     "apply_multi_tiled_fusion",
+    "apply_parallelization",
     "apply_schedule",
     "apply_script",
     "apply_tiled_fusion",
@@ -136,6 +145,7 @@ __all__ = [
     "identity_permutation",
     "intermediate_value_dims",
     "is_permutation",
+    "legal_parallel_positions",
     "legal_tile_positions",
     "lower_baseline",
     "lower_function",

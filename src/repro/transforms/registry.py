@@ -68,7 +68,13 @@ from .tiling import (
 from .vectorization import apply_vectorization, can_vectorize
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..analysis.dependence import OpDependences
+    from ..env.actions import EnvAction, FlatAction
     from ..env.config import EnvConfig
+    from ..env.environment import MlirRlEnv
+    from ..env.history import ActionHistory
+    from ..env.masking import ActionMask
+    from ..ir.ops import LinalgOp
     from .loop_nest import Loop
     from .pipeline import ScheduledFunction
 
@@ -82,6 +88,8 @@ class PluginKind(int):
     defaults prints as ``unrolling`` and compares equal to ``6``).
     """
 
+    name: str
+
     def __new__(cls, value: int, name: str) -> "PluginKind":
         obj = super().__new__(cls, value)
         obj.name = name
@@ -93,7 +101,7 @@ class PluginKind(int):
     def __repr__(self) -> str:
         return f"PluginKind({int(self)}, {self.name!r})"
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[int, str]]:
         # Default int-subclass pickling bypasses __new__ and drops the
         # name; masks carrying plugin kinds cross process boundaries in
         # the async vector env, so rebuild explicitly.
@@ -194,6 +202,39 @@ def _tile_size_mask(
     return mask
 
 
+def _analysis_tile_mask(
+    ctx: MaskContext, dep: "OpDependences", parallel: bool
+) -> np.ndarray:
+    """The analyzer's version of :func:`_tile_size_mask`.
+
+    Same structural constraints (extent, candidate size), but the
+    iterator-type heuristic is replaced by dependence facts: parallel
+    tiling is banned on dimensions *carrying* a dependence, and any
+    tiling is banned on *coupled* (non-uniform) dimensions, where
+    strip-mining cannot be proven order-preserving.  Shared through
+    ``ctx.cache`` like the heuristic mask.
+    """
+    key = ("analysis_tile_mask", parallel)
+    cached = ctx.cache.get(key)
+    if cached is not None:
+        return cached
+    config, schedule = ctx.config, ctx.schedule
+    mask = _trivial_tile_mask(config)
+    if not ctx.depth_overflow:
+        banned = dep.coupled | (dep.carried if parallel else frozenset())
+        for position in range(min(schedule.num_loops, config.max_loops)):
+            if schedule.order[position] in banned:
+                continue
+            extent = schedule.extent_at(position)
+            if extent <= 1:
+                continue
+            for index, size in enumerate(config.tile_sizes):
+                if index and size <= extent:
+                    mask[position, index] = True
+    ctx.cache[key] = mask
+    return mask
+
+
 class TransformSpec:
     """One registered transformation (see the module docstring).
 
@@ -219,6 +260,11 @@ class TransformSpec:
     #: the seed emitted parallelization, tiling, fusion, interchange,
     #: vectorization — preserved so beam tie-breaking is unchanged.
     search_priority: int = 100
+    #: True when the masking predicate itself reads the dependence
+    #: analysis (not just the differential checker): activating such a
+    #: spec makes cached masks depend on the op's dependence summary, so
+    #: ``mask_cache_key`` folds the analysis fingerprint in.
+    uses_dependence_analysis: bool = False
 
     # -- policy head / sub-action space ---------------------------------------
 
@@ -242,10 +288,50 @@ class TransformSpec:
         """True mid multi-step sub-sequence (level-pointer interchange)."""
         return False
 
+    # -- dependence-analysis legality (repro.analysis) -------------------------
+
+    def analysis_param_mask(
+        self, ctx: MaskContext, dep: "OpDependences"
+    ) -> np.ndarray | None:
+        """Sub-action legality re-derived from dependence vectors.
+
+        None means the analyzer has no opinion on this spec's parameters
+        (the differential checker then skips the comparison).  Shape must
+        match :meth:`param_mask` when not None.
+        """
+        return None
+
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool | None:
+        """Head legality re-derived from dependence vectors (None = no
+        opinion).  ``param_mask`` is this spec's analysis param mask."""
+        return None
+
+    def analysis_violations(
+        self,
+        dep: "OpDependences",
+        schedule: ScheduledOp,
+        record: Transformation,
+        has_producer: bool,
+    ) -> list[str]:
+        """Analyzer objections to applying ``record`` in ``schedule``'s
+        current state — one human-readable reason per violated rule.
+
+        The default (no objections) is correct for dependence-neutral
+        transforms: anything preserving each op's sequential iteration
+        order per output element (vectorization, unrolling, the stop
+        action) cannot violate a dependence.
+        """
+        return []
+
     # -- decoding / encoding ---------------------------------------------------
 
     def decode(
-        self, action, num_loops: int, config: "EnvConfig"
+        self, action: "EnvAction", num_loops: int, config: "EnvConfig"
     ) -> Transformation | None:
         """Decode an :class:`~repro.env.actions.EnvAction` to a record.
 
@@ -256,11 +342,11 @@ class TransformSpec:
 
     def to_env_action(
         self,
-        kind,
+        kind: int,
         config: "EnvConfig",
         tile_indices: np.ndarray | None = None,
         choice: int = -1,
-    ):
+    ) -> "EnvAction":
         """Build the EnvAction for sampled head outputs."""
         from ..env.actions import EnvAction
 
@@ -273,14 +359,23 @@ class TransformSpec:
         return False
 
     def multistep(
-        self, env, schedule: ScheduledOp, history, action
+        self,
+        env: "MlirRlEnv",
+        schedule: ScheduledOp,
+        history: "ActionHistory",
+        action: "EnvAction",
     ) -> tuple[bool, Transformation | None, bool]:
         """One sub-step; returns (done_with_op, applied_record, illegal)."""
         raise NotImplementedError
 
     # -- application -----------------------------------------------------------
 
-    def apply(self, scheduled: "ScheduledFunction", op, record) -> None:
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         """Apply ``record`` to ``op``'s schedule inside ``scheduled``."""
         raise NotImplementedError
 
@@ -292,17 +387,21 @@ class TransformSpec:
 
     # -- flat action space (ablation §VII-D2) ----------------------------------
 
-    def flat_entries(self, config: "EnvConfig", kind) -> list:
+    def flat_entries(self, config: "EnvConfig", kind: int) -> "list[FlatAction]":
         """This spec's entries of the flat action table."""
         return []
 
     def flat_legal(
-        self, flat, mask, num_loops: int, config: "EnvConfig"
+        self,
+        flat: "FlatAction",
+        mask: "ActionMask",
+        num_loops: int,
+        config: "EnvConfig",
     ) -> bool:
         """Legality of one flat entry once the kind itself is legal."""
         return True
 
-    def flat_record(self, flat, num_loops: int) -> Transformation:
+    def flat_record(self, flat: "FlatAction", num_loops: int) -> Transformation:
         """Decode one flat entry into a transformation record."""
         raise NotImplementedError
 
@@ -328,7 +427,9 @@ class TransformSpec:
         """
         return None
 
-    def record_history(self, history, record) -> None:
+    def record_history(
+        self, history: "ActionHistory", record: Transformation
+    ) -> None:
         """Write one applied record into the plugin history slot."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -428,7 +529,7 @@ class RegistryView:
     paper position, else a :class:`PluginKind`.
     """
 
-    def __init__(self, names: Sequence[str]):
+    def __init__(self, names: Sequence[str]) -> None:
         self.names = tuple(names)
         self.specs = tuple(get_spec(name) for name in names)
         for spec in self.specs:
@@ -454,6 +555,12 @@ class RegistryView:
             else:
                 kinds.append(PluginKind(index, name))
         self.kinds: tuple = tuple(kinds)
+        #: True when any active spec's masks read the dependence
+        #: analysis — mask cache keys then include the op's dependence
+        #: fingerprint (see ``env.masking.mask_cache_key``).
+        self.analysis_backed: bool = any(
+            spec.uses_dependence_analysis for spec in self.specs
+        )
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -542,13 +649,20 @@ class _TiledSpecBase(TransformSpec):
             return _trivial_tile_mask(ctx.config)
         return _tile_size_mask(ctx, parallel=self.parallel)
 
+    def analysis_param_mask(
+        self, ctx: MaskContext, dep: "OpDependences"
+    ) -> np.ndarray:
+        if ctx.depth_overflow:
+            return _trivial_tile_mask(ctx.config)
+        return _analysis_tile_mask(ctx, dep, parallel=self.parallel)
+
     def _any_tile(
         self, ctx: MaskContext, param_mask: np.ndarray
     ) -> bool:
         return bool(param_mask[: ctx.schedule.num_loops, 1:].any())
 
     def decode(
-        self, action, num_loops: int, config: "EnvConfig"
+        self, action: "EnvAction", num_loops: int, config: "EnvConfig"
     ) -> Transformation | None:
         from ..env.actions import tile_sizes_from_indices
 
@@ -562,15 +676,20 @@ class _TiledSpecBase(TransformSpec):
         return self.record_class(sizes)
 
     def to_env_action(
-        self, kind, config, tile_indices=None, choice=-1
-    ):
+        self,
+        kind: int,
+        config: "EnvConfig",
+        tile_indices: np.ndarray | None = None,
+        choice: int = -1,
+    ) -> "EnvAction":
         from ..env.actions import EnvAction
 
+        assert tile_indices is not None
         return EnvAction(
             kind, tile_indices=tuple(int(i) for i in tile_indices)
         )
 
-    def flat_entries(self, config: "EnvConfig", kind) -> list:
+    def flat_entries(self, config: "EnvConfig", kind: int) -> "list[FlatAction]":
         from ..env.actions import FlatAction
 
         return [
@@ -581,13 +700,19 @@ class _TiledSpecBase(TransformSpec):
             for size in config.tile_sizes[1:]
         ]
 
-    def flat_legal(self, flat, mask, num_loops, config) -> bool:
+    def flat_legal(
+        self,
+        flat: "FlatAction",
+        mask: "ActionMask",
+        num_loops: int,
+        config: "EnvConfig",
+    ) -> bool:
         if flat.level >= num_loops:
             return False
         size_index = config.tile_sizes.index(flat.tile_size)
         return bool(mask.params[self.mask_key][flat.level, size_index])
 
-    def flat_record(self, flat, num_loops: int) -> Transformation:
+    def flat_record(self, flat: "FlatAction", num_loops: int) -> Transformation:
         sizes = tuple(
             flat.tile_size if position == flat.level else 0
             for position in range(num_loops)
@@ -626,13 +751,54 @@ class TilingSpec(_TiledSpecBase):
     #: Beam-search tile sizes per position (a pruned candidate subset).
     search_sizes = (4, 8, 32, 64)
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return not ctx.terminal and self._any_tile(ctx, param_mask)
 
-    def apply(self, scheduled, op, record) -> None:
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool:
+        return not ctx.terminal and self._any_tile(ctx, param_mask)
+
+    def analysis_violations(
+        self,
+        dep: "OpDependences",
+        schedule: ScheduledOp,
+        record: Transformation,
+        has_producer: bool,
+    ) -> list[str]:
+        # Strip-mining a dimension preserves every single-dimension
+        # distance vector (the mixed-radix re-encoding is monotone per
+        # dim), so sequential tiling only endangers coupled dims.
+        issues = []
+        for position, size in enumerate(record.sizes[: schedule.num_loops]):
+            if size <= 0:
+                continue
+            dim = schedule.order[position]
+            if dim in dep.coupled:
+                issues.append(
+                    f"tiles non-uniform (coupled) dimension d{dim}"
+                )
+        return issues
+
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_tiling(scheduled.schedule_of(op), record)
 
-    def search_candidates(self, schedule, has_producer, config):
+    def search_candidates(
+        self,
+        schedule: ScheduledOp,
+        has_producer: bool,
+        config: "EnvConfig",
+    ) -> list[Transformation]:
         if len(schedule.bands) >= 2:
             return []
         tileable = [
@@ -667,7 +833,9 @@ class TiledParallelizationSpec(_TiledSpecBase):
     search_priority = 0
     search_sizes = (1, 4, 8, 16, 32, 64)
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return (
             not ctx.terminal
             and self._any_tile(ctx, param_mask)
@@ -676,10 +844,51 @@ class TiledParallelizationSpec(_TiledSpecBase):
             and ctx.schedule.fused_into is None
         )
 
-    def apply(self, scheduled, op, record) -> None:
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool:
+        return (
+            not ctx.terminal
+            and self._any_tile(ctx, param_mask)
+            and ctx.schedule.fused_into is None
+        )
+
+    def analysis_violations(
+        self,
+        dep: "OpDependences",
+        schedule: ScheduledOp,
+        record: Transformation,
+        has_producer: bool,
+    ) -> list[str]:
+        issues = []
+        banned = dep.carried | dep.coupled
+        for position, size in enumerate(record.sizes[: schedule.num_loops]):
+            if size <= 0:
+                continue
+            dim = schedule.order[position]
+            if dim in banned:
+                issues.append(
+                    f"parallelizes dependence-carried dimension d{dim}"
+                )
+        return issues
+
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_tiled_parallelization(scheduled.schedule_of(op), record)
 
-    def search_candidates(self, schedule, has_producer, config):
+    def search_candidates(
+        self,
+        schedule: ScheduledOp,
+        has_producer: bool,
+        config: "EnvConfig",
+    ) -> list[Transformation]:
         has_parallel_band = any(
             band.parallel for band in schedule.bands
         )
@@ -716,14 +925,49 @@ class TiledFusionSpec(_TiledSpecBase):
     search_priority = 2
     search_sizes = (8, 32)
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return (
             not ctx.terminal
             and self._any_tile(ctx, param_mask)
             and ctx.has_producer
         )
 
-    def apply(self, scheduled, op, record) -> None:
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool:
+        # Tiled fusion recomputes the producer inside the consumer's
+        # tile band — the flow value is re-produced, never reordered, so
+        # the only dependence fact that matters is that a flow producer
+        # exists (the checker derives ``ctx.has_producer`` from the
+        # dependence graph's flow edges).
+        return (
+            not ctx.terminal
+            and self._any_tile(ctx, param_mask)
+            and ctx.has_producer
+        )
+
+    def analysis_violations(
+        self,
+        dep: "OpDependences",
+        schedule: ScheduledOp,
+        record: Transformation,
+        has_producer: bool,
+    ) -> list[str]:
+        if not has_producer:
+            return ["no flow producer available to fuse"]
+        return []
+
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_tiled_fusion(
             scheduled.func,
             scheduled.schedule_of(op),
@@ -731,7 +975,12 @@ class TiledFusionSpec(_TiledSpecBase):
             scheduled._schedules,
         )
 
-    def search_candidates(self, schedule, has_producer, config):
+    def search_candidates(
+        self,
+        schedule: ScheduledOp,
+        has_producer: bool,
+        config: "EnvConfig",
+    ) -> list[Transformation]:
         if not has_producer:
             return []
         positions = tuple(self._parallel_positions(schedule)[:2])
@@ -758,10 +1007,17 @@ class MultiTiledFusionSpec(TransformSpec):
     record_types = (MultiTiledFusion,)
     action_capable = False
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return False
 
-    def apply(self, scheduled, op, record) -> None:
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_multi_tiled_fusion(
             scheduled.func,
             scheduled.schedule_of(op),
@@ -806,13 +1062,80 @@ class InterchangeSpec(TransformSpec):
                 mask[loop] = True
         return mask
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return (
             not ctx.terminal
             and not ctx.depth_overflow
             and ctx.schedule.num_loops >= 2
+            and param_mask is not None
             and bool(param_mask.any())
         )
+
+    def analysis_param_mask(
+        self, ctx: MaskContext, dep: "OpDependences"
+    ) -> np.ndarray:
+        # Permuting loops preserves every single-dimension distance
+        # vector (its sole `<` component stays `<` wherever the loop
+        # lands), so interchange is only constrained by coupled dims:
+        # reordering two entangled `*` dimensions may flip a dependence
+        # direction.  Candidates moving a coupled dim are masked;
+        # pointer-mode interchange rebuilds the entire permutation, so
+        # any coupled dim disables it outright.
+        mask = self.param_mask(ctx)
+        if not dep.coupled or not mask.any():
+            return mask
+        schedule = ctx.schedule
+        if _enumerated_interchange(ctx.config):
+            padded = enumerated_candidates(ctx.config.max_loops)
+            for index, perm in enumerate(padded):
+                if not mask[index]:
+                    continue
+                moved = {
+                    schedule.order[p]
+                    for p, q in enumerate(perm)
+                    if p != q and p < schedule.num_loops
+                }
+                if moved & dep.coupled:
+                    mask[index] = False
+            return mask
+        return np.zeros_like(mask)
+
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool:
+        return (
+            not ctx.terminal
+            and not ctx.depth_overflow
+            and ctx.schedule.num_loops >= 2
+            and param_mask is not None
+            and bool(param_mask.any())
+        )
+
+    def analysis_violations(
+        self,
+        dep: "OpDependences",
+        schedule: ScheduledOp,
+        record: Transformation,
+        has_producer: bool,
+    ) -> list[str]:
+        perm = record.permutation
+        if len(perm) != schedule.num_loops or sorted(perm) != list(
+            range(schedule.num_loops)
+        ):
+            return []  # malformed: the apply layer rejects it
+        moved = {
+            schedule.order[p] for p, q in enumerate(perm) if p != q
+        }
+        entangled = sorted(moved & dep.coupled)
+        return [
+            f"reorders non-uniform (coupled) dimension d{dim}"
+            for dim in entangled
+        ]
 
     def forces_continuation(self, ctx: MaskContext) -> bool:
         return ctx.in_pointer_sequence and not ctx.depth_overflow
@@ -820,7 +1143,13 @@ class InterchangeSpec(TransformSpec):
     def is_multistep(self, config: "EnvConfig") -> bool:
         return not _enumerated_interchange(config)
 
-    def multistep(self, env, schedule, history, action):
+    def multistep(
+        self,
+        env: "MlirRlEnv",
+        schedule: ScheduledOp,
+        history: "ActionHistory",
+        action: "EnvAction",
+    ) -> tuple[bool, Transformation | None, bool]:
         """One level-pointer sub-step (paper Appendix B)."""
         loop = action.pointer_loop
         if loop is None or not (0 <= loop < schedule.num_loops):
@@ -848,7 +1177,9 @@ class InterchangeSpec(TransformSpec):
         env._pointer_placed = []
         return False, record, False
 
-    def decode(self, action, num_loops, config):
+    def decode(
+        self, action: "EnvAction", num_loops: int, config: "EnvConfig"
+    ) -> Transformation | None:
         if _enumerated_interchange(config):
             if action.interchange_candidate is None:
                 raise ValueError(
@@ -863,17 +1194,28 @@ class InterchangeSpec(TransformSpec):
             return Interchange(tuple(full[:num_loops]))
         return None  # level pointers: assembled by the environment
 
-    def to_env_action(self, kind, config, tile_indices=None, choice=-1):
+    def to_env_action(
+        self,
+        kind: int,
+        config: "EnvConfig",
+        tile_indices: np.ndarray | None = None,
+        choice: int = -1,
+    ) -> "EnvAction":
         from ..env.actions import EnvAction
 
         if _enumerated_interchange(config):
             return EnvAction(kind, interchange_candidate=choice)
         return EnvAction(kind, pointer_loop=choice)
 
-    def apply(self, scheduled, op, record) -> None:
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_interchange(scheduled.schedule_of(op), record)
 
-    def flat_entries(self, config: "EnvConfig", kind) -> list:
+    def flat_entries(self, config: "EnvConfig", kind: int) -> "list[FlatAction]":
         from ..env.actions import FlatAction
 
         return [
@@ -881,11 +1223,17 @@ class InterchangeSpec(TransformSpec):
             for perm in enumerated_candidates(config.max_loops)
         ]
 
-    def flat_legal(self, flat, mask, num_loops, config) -> bool:
+    def flat_legal(
+        self,
+        flat: "FlatAction",
+        mask: "ActionMask",
+        num_loops: int,
+        config: "EnvConfig",
+    ) -> bool:
         moved = [p for p, q in enumerate(flat.permutation) if p != q]
         return all(p < num_loops for p in moved)
 
-    def flat_record(self, flat, num_loops: int) -> Transformation:
+    def flat_record(self, flat: "FlatAction", num_loops: int) -> Transformation:
         # The table stores padded max_loops permutations; truncate to
         # the op's depth exactly like the hierarchical decode does.
         # (The seed applied the padded permutation, so every flat
@@ -896,7 +1244,12 @@ class InterchangeSpec(TransformSpec):
             return Interchange(flat.permutation[:num_loops])
         return Interchange(flat.permutation)
 
-    def search_candidates(self, schedule, has_producer, config):
+    def search_candidates(
+        self,
+        schedule: ScheduledOp,
+        has_producer: bool,
+        config: "EnvConfig",
+    ) -> list[Transformation]:
         if schedule.num_loops < 2:
             return []
         return [
@@ -911,28 +1264,42 @@ class VectorizationSpec(TransformSpec):
     ends_op = True
     search_priority = 4
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return (
             not ctx.terminal
             and not ctx.depth_overflow
             and can_vectorize(ctx.schedule)
         )
 
-    def decode(self, action, num_loops, config):
+    def decode(
+        self, action: "EnvAction", num_loops: int, config: "EnvConfig"
+    ) -> Transformation | None:
         return Vectorization()
 
-    def apply(self, scheduled, op, record) -> None:
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         apply_vectorization(scheduled.schedule_of(op), record)
 
-    def flat_entries(self, config, kind) -> list:
+    def flat_entries(self, config: "EnvConfig", kind: int) -> "list[FlatAction]":
         from ..env.actions import FlatAction
 
         return [FlatAction(kind, spec_name=self.name)]
 
-    def flat_record(self, flat, num_loops: int) -> Transformation:
+    def flat_record(self, flat: "FlatAction", num_loops: int) -> Transformation:
         return Vectorization()
 
-    def search_candidates(self, schedule, has_producer, config):
+    def search_candidates(
+        self,
+        schedule: ScheduledOp,
+        has_producer: bool,
+        config: "EnvConfig",
+    ) -> list[Transformation]:
         if can_vectorize(schedule):
             return [Vectorization()]
         return []
@@ -944,21 +1311,38 @@ class NoTransformationSpec(TransformSpec):
     ends_op = True
     is_stop = True
 
-    def is_legal(self, ctx, param_mask) -> bool:
+    def is_legal(
+        self, ctx: MaskContext, param_mask: np.ndarray | None
+    ) -> bool:
         return True
 
-    def decode(self, action, num_loops, config):
+    def analysis_legal(
+        self,
+        ctx: MaskContext,
+        dep: "OpDependences",
+        param_mask: np.ndarray | None,
+    ) -> bool:
+        return True
+
+    def decode(
+        self, action: "EnvAction", num_loops: int, config: "EnvConfig"
+    ) -> Transformation | None:
         return NoTransformation()
 
-    def apply(self, scheduled, op, record) -> None:
+    def apply(
+        self,
+        scheduled: "ScheduledFunction",
+        op: "LinalgOp",
+        record: Transformation,
+    ) -> None:
         scheduled.schedule_of(op).history.append(record)
 
-    def flat_entries(self, config, kind) -> list:
+    def flat_entries(self, config: "EnvConfig", kind: int) -> "list[FlatAction]":
         from ..env.actions import FlatAction
 
         return [FlatAction(kind, spec_name=self.name)]
 
-    def flat_record(self, flat, num_loops: int) -> Transformation:
+    def flat_record(self, flat: "FlatAction", num_loops: int) -> Transformation:
         return NoTransformation()
 
 

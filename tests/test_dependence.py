@@ -1,0 +1,182 @@
+"""Unit + property tests for the affine dependence analysis.
+
+The analyzer re-derives from the indexing maps what the builders state
+via iterator types: for every projected-permutation op the carried dims
+must be exactly the declared reduction dims, and the per-tensor
+dependence vectors must match the textbook ones (matmul ``[= = <]``
+etc.).  The hypothesis section checks the structural invariant the mask
+cache relies on: the analysis fingerprint never changes under legal
+schedule transformations (analysis is a property of the *op*, not the
+schedule).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DependenceGraph, analyze_op, verify_schedule
+from repro.analysis.dependence import integer_kernel
+from repro.ir import (
+    FuncOp,
+    add,
+    batch_matmul,
+    conv_2d_nhwc_hwcf,
+    empty,
+    matmul,
+    pooling_nhwc_max,
+    relu,
+    tensor,
+)
+from repro.transforms import (
+    Interchange,
+    ScheduledFunction,
+    Tiling,
+)
+
+
+def _matmul_op(m=8, n=8, k=8):
+    return matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+
+
+class TestIntegerKernel:
+    def test_full_rank_kernel_is_empty(self):
+        assert integer_kernel([(1, 0), (0, 1)], 2) == []
+
+    def test_free_column_yields_basis_vector(self):
+        assert integer_kernel([(1, 0, 0), (0, 1, 0)], 3) == [(0, 0, 1)]
+
+    def test_sum_map_kernel(self):
+        # d0 + d1: kernel spanned by (1, -1)
+        assert integer_kernel([(1, 1)], 2) == [(1, -1)]
+
+    def test_rational_kernel_scaled_primitive(self):
+        # 2*d0 + 4*d1 = 0 -> primitive integer solution (2, -1)
+        assert integer_kernel([(2, 4)], 2) == [(2, -1)]
+
+    def test_no_rows_spans_everything(self):
+        assert integer_kernel([], 2) == [(1, 0), (0, 1)]
+
+
+class TestBuilderOps:
+    """carried == declared reduction dims for every projected-permutation op."""
+
+    def _check(self, op):
+        dep = analyze_op(op)
+        assert dep.carried == frozenset(op.reduction_dims())
+        assert dep.coupled == frozenset()
+        return dep
+
+    def test_matmul(self):
+        dep = self._check(_matmul_op())
+        kinds = {d.kind.value for d in dep.dependences}
+        assert kinds == {"flow", "anti", "output"}
+        for d in dep.dependences:
+            assert d.directions == ("=", "=", "<")
+            assert d.distance == (0, 0, 1)
+        assert dep.parallelizable_dims() == frozenset({0, 1})
+
+    def test_batch_matmul(self):
+        op = batch_matmul(tensor([2, 4, 6]), tensor([2, 6, 5]), tensor([2, 4, 5]))
+        dep = self._check(op)
+        assert dep.carried == frozenset({3})
+
+    def test_conv(self):
+        op = conv_2d_nhwc_hwcf(
+            tensor([1, 8, 8, 3]), tensor([3, 3, 3, 4]), tensor([1, 6, 6, 4])
+        )
+        dep = self._check(op)
+        assert dep.carried == frozenset({4, 5, 6})
+
+    def test_pooling(self):
+        op = pooling_nhwc_max(
+            tensor([1, 8, 8, 3]), empty([1, 4, 4, 3]), (2, 2), strides=(2, 2)
+        )
+        dep = self._check(op)
+        assert dep.carried == frozenset({4, 5})
+
+    def test_elementwise_has_no_dependences(self):
+        op = add(tensor([8, 8]), tensor([8, 8]), tensor([8, 8]))
+        dep = self._check(op)
+        assert dep.dependences == ()
+        assert not dep.reads_output
+
+    def test_memoized_per_op_identity(self):
+        op = _matmul_op()
+        assert analyze_op(op) is analyze_op(op)
+        # a distinct (structurally identical) op gets its own analysis
+        assert analyze_op(_matmul_op()) is not analyze_op(op)
+
+    def test_fingerprint_structural(self):
+        assert (
+            analyze_op(_matmul_op()).fingerprint()
+            == analyze_op(_matmul_op()).fingerprint()
+        )
+
+
+def _chain():
+    x, y = tensor([16, 16]), tensor([16, 16])
+    first = add(x, y, empty([16, 16]))
+    second = relu(first.result(), empty([16, 16]))
+    func = FuncOp("chain", [x, y])
+    func.append(first)
+    func.append(second)
+    func.returns = [second.result()]
+    return func, first, second
+
+
+class TestDependenceGraph:
+    def test_flow_edge_between_producer_and_consumer(self):
+        func, first, second = _chain()
+        graph = DependenceGraph.analyze(func)
+        assert [(e.producer is first, e.consumer is second) for e in graph.edges] == [
+            (True, True)
+        ]
+        assert graph.flow_producers_of(second) == [first]
+        assert graph.flow_producers_of(first) == []
+
+    def test_memoized_on_function(self):
+        func, _, _ = _chain()
+        assert DependenceGraph.analyze(func) is DependenceGraph.analyze(func)
+
+    def test_memo_invalidated_by_body_change(self):
+        func, first, second = _chain()
+        graph = DependenceGraph.analyze(func)
+        extra = relu(second.result(), empty([16, 16]))
+        func.append(extra)
+        fresh = DependenceGraph.analyze(func)
+        assert fresh is not graph
+        assert len(fresh.nodes) == 3
+
+    def test_render_mentions_every_op(self):
+        func, _, _ = _chain()
+        text = DependenceGraph.analyze(func).render()
+        assert "flow edges" in text
+        assert text.count("linalg.") >= 2
+
+
+class TestFingerprintInvariance:
+    """Analysis is schedule-independent: the fingerprint the mask cache
+    keys on cannot drift as legal transformations are applied."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        tiles=st.tuples(
+            st.sampled_from([0, 2, 4]),
+            st.sampled_from([0, 2, 4]),
+            st.sampled_from([0, 2, 4]),
+        ),
+    )
+    def test_invariant_under_tiling_and_interchange(self, seed, tiles):
+        rng = np.random.default_rng(seed)
+        op = _matmul_op()
+        func = FuncOp("f", list(op.inputs) + list(op.outputs))
+        func.append(op)
+        scheduled = ScheduledFunction(func)
+        before = analyze_op(op).fingerprint()
+        if any(tiles):
+            scheduled.apply(op, Tiling(tiles))
+        perm = tuple(rng.permutation(3).tolist())
+        scheduled.apply(op, Interchange(perm))
+        assert analyze_op(op).fingerprint() == before
+        # and the whole legal schedule passes the verifier
+        assert verify_schedule(func, scheduled) == []

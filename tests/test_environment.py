@@ -218,7 +218,7 @@ class TestEpisodeTruncation:
         env.reset(_matmul_func()[0])
         env.step(EnvAction(TransformKind.INTERCHANGE, pointer_loop=0))
         repeat = EnvAction(TransformKind.INTERCHANGE, pointer_loop=0)
-        for step in range(config.max_episode_steps + 1):
+        for _ in range(config.max_episode_steps + 1):
             result = env.step(repeat)  # always illegal: loop 0 placed
             if result.done:
                 break

@@ -1,0 +1,334 @@
+"""Schedule-legality verifier + differential checker tests.
+
+Three layers: (1) regression pins — one known-legal and one
+known-illegal case per transformation, including an op whose iterator
+types are *mislabeled* (the case where only the analyzer is right);
+(2) the semantic property behind the whole PR — analyzer-accepted
+schedules are interpreter-equivalent to the unscheduled op
+(bit-identical when the reduction visit order is preserved), and
+analyzer-rejected ones either raise or observably diverge under racy
+parallel execution; (3) the acceptance gate — a differential sweep over
+the generator universe with zero analyzer-vs-predicate disagreements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    DifferentialChecker,
+    DifferentialDisagreement,
+    analyze_op,
+    differential_sweep,
+    evaluate_scheduled_op_racy,
+    reduction_order_preserved,
+    verify_schedule,
+)
+from repro.ir import (
+    AffineMap,
+    ArithKind,
+    FuncOp,
+    IteratorType,
+    add,
+    body_from_ops,
+    conv_2d_nhwc_hwcf,
+    dim,
+    empty,
+    generic,
+    matmul,
+    relu,
+    tensor,
+)
+from repro.ir.interpreter import evaluate_op, random_operands
+from repro.transforms import (
+    Interchange,
+    Parallelize,
+    ScheduledFunction,
+    TiledFusion,
+    TiledParallelization,
+    Tiling,
+    TransformError,
+    Vectorization,
+    get_spec,
+)
+from repro.env.actions import flat_action_table
+from repro.env.config import extended_config
+from repro.env.masking import compute_mask
+
+
+def _single_op_func(op):
+    func = FuncOp("f", list(op.inputs) + list(op.outputs))
+    func.append(op)
+    func.returns = [op.result()]
+    return func
+
+
+def _matmul_func(m=8, n=8, k=8):
+    op = matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+    return _single_op_func(op), op
+
+
+def _coupled_func():
+    """out[i+j] += in[i, j] — a non-uniform (coupled) dependence.
+
+    The output map d0+d1 is not a projected permutation: iterations
+    (1, 0) and (0, 1) collide, so neither dim can be reordered or run
+    in parallel, which no iterator-type declaration can express.
+    """
+    in_ = tensor([6, 6])
+    out = tensor([11])
+    op = generic(
+        inputs=[in_],
+        outputs=[out],
+        indexing_maps=[
+            AffineMap.get(2, 0, [dim(0), dim(1)]),
+            AffineMap.get(2, 0, [dim(0) + dim(1)]),
+        ],
+        iterator_types=[IteratorType.REDUCTION, IteratorType.REDUCTION],
+        body=body_from_ops(2, [(ArithKind.ADDF, (0, 1))]),
+    )
+    return _single_op_func(op), op
+
+
+def _mislabeled_matmul(m=8, n=8, k=8):
+    """A matmul whose reduction loop is (wrongly) declared parallel."""
+    lhs, rhs, out = tensor([m, k]), tensor([k, n]), tensor([m, n])
+    op = generic(
+        inputs=[lhs, rhs],
+        outputs=[out],
+        indexing_maps=[
+            AffineMap.get(3, 0, [dim(0), dim(2)]),
+            AffineMap.get(3, 0, [dim(2), dim(1)]),
+            AffineMap.get(3, 0, [dim(0), dim(1)]),
+        ],
+        iterator_types=[IteratorType.PARALLEL] * 3,
+        body=body_from_ops(
+            3, [(ArithKind.MULF, (0, 1)), (ArithKind.ADDF, (2, 3))]
+        ),
+    )
+    return _single_op_func(op), op
+
+
+class TestCoupledAnalysis:
+    def test_both_dims_coupled(self):
+        _, op = _coupled_func()
+        dep = analyze_op(op)
+        assert dep.coupled == frozenset({0, 1})
+        assert dep.parallelizable_dims() == frozenset()
+
+
+class TestRegressionPerTransform:
+    """One known-legal and one known-illegal case per transformation."""
+
+    def test_tiling_legal(self):
+        func, op = _matmul_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Tiling((2, 2, 2)))
+        assert verify_schedule(func, scheduled) == []
+
+    def test_tiling_of_coupled_dim_flagged(self):
+        func, op = _coupled_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Tiling((2, 0)))
+        violations = verify_schedule(func, scheduled)
+        assert violations, "tiling a coupled dim must be flagged"
+        assert "coupled" in violations[0].detail
+
+    def test_interchange_legal(self):
+        func, op = _matmul_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Interchange((2, 0, 1)))
+        assert verify_schedule(func, scheduled) == []
+
+    def test_interchange_of_coupled_dims_flagged(self):
+        func, op = _coupled_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Interchange((1, 0)))
+        violations = verify_schedule(func, scheduled)
+        assert violations
+        assert "coupled" in violations[0].detail
+
+    def test_parallelization_legal(self):
+        func, op = _matmul_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Parallelize((0, 1)))
+        assert verify_schedule(func, scheduled) == []
+
+    def test_parallelization_of_reduction_raises(self):
+        func, op = _matmul_func()
+        scheduled = ScheduledFunction(func)
+        with pytest.raises(TransformError, match="dependence-carried"):
+            scheduled.apply(op, Parallelize((2,)))
+
+    def test_mislabeled_parallel_caught_only_by_analyzer(self):
+        # iterator types say parallel, so the heuristic apply layer
+        # accepts tiled parallelization of the reduction loop; the
+        # verifier re-derives the truth from the indexing maps.
+        func, op = _mislabeled_matmul()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, TiledParallelization((0, 0, 2)))
+        violations = verify_schedule(func, scheduled)
+        assert violations
+        assert "dependence-carried" in violations[0].detail
+        # the analyzer-backed plugin rejects it outright
+        fresh = ScheduledFunction(func)
+        with pytest.raises(TransformError):
+            fresh.apply(op, Parallelize((2,)))
+
+    def test_fusion_legal(self):
+        x, y = tensor([16, 16]), tensor([16, 16])
+        first = add(x, y, empty([16, 16]))
+        second = relu(first.result(), empty([16, 16]))
+        func = FuncOp("chain", [x, y])
+        func.append(first)
+        func.append(second)
+        func.returns = [second.result()]
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(second, TiledFusion((4, 4)))
+        assert verify_schedule(func, scheduled) == []
+
+    def test_fusion_without_flow_producer_flagged(self):
+        func, op = _matmul_func()
+        spec = get_spec("tiled_fusion")
+        issues = spec.analysis_violations(
+            analyze_op(op),
+            ScheduledFunction(func).schedule_of(op),
+            TiledFusion((4, 4)),
+            has_producer=False,
+        )
+        assert issues == ["no flow producer available to fuse"]
+
+    def test_vectorization_neutral(self):
+        func, op = _matmul_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, Vectorization())
+        assert verify_schedule(func, scheduled) == []
+
+
+class TestSemanticProperty:
+    """Analyzer-accepted ⇒ interpreter-equivalent; rejected ⇒ diverges."""
+
+    def _ops(self):
+        return [
+            matmul(tensor([6, 4]), tensor([4, 5]), tensor([6, 5])),
+            conv_2d_nhwc_hwcf(
+                tensor([1, 5, 5, 2]), tensor([2, 2, 2, 3]), tensor([1, 4, 4, 3])
+            ),
+            add(tensor([6, 6]), tensor([6, 6]), tensor([6, 6])),
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_accepted_schedules_match_interpreter(self, seed):
+        rng = np.random.default_rng(seed)
+        config = extended_config("unrolling", "parallelization", max_loops=8)
+        table = flat_action_table(config)
+        op = self._ops()[int(rng.integers(3))]
+        func = _single_op_func(op)
+        scheduled = ScheduledFunction(func)
+        schedule = scheduled.schedule_of(op)
+        for _ in range(int(rng.integers(1, 4))):
+            mask = compute_mask(schedule, config, has_producer=False)
+            pool = [
+                flat
+                for flat in table
+                if mask.transformation[int(flat.kind)]
+                and flat._spec().flat_legal(flat, mask, schedule.num_loops, config)
+                and not flat._spec().is_stop
+            ]
+            if not pool:
+                break
+            flat = pool[int(rng.integers(len(pool)))]
+            scheduled.apply(op, flat.to_record(schedule.num_loops))
+        assert verify_schedule(func, scheduled) == []
+        operands = random_operands(op, rng)
+        expected = evaluate_op(op, operands)[0]
+        got = evaluate_scheduled_op_racy(schedule, operands)[0]
+        if reduction_order_preserved(schedule):
+            assert np.array_equal(got, expected)
+        else:
+            np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_rejected_parallelization_observably_races(self):
+        # The schedule the verifier rejects must be *observably* wrong:
+        # racy parallel execution of the mislabeled matmul's reduction
+        # loop diverges from the reference result.
+        func, op = _mislabeled_matmul()
+        scheduled = ScheduledFunction(func)
+        scheduled.apply(op, TiledParallelization((0, 0, 2)))
+        assert verify_schedule(func, scheduled)
+        rng = np.random.default_rng(7)
+        operands = random_operands(op, rng)
+        expected = evaluate_op(op, operands)[0]
+        got = evaluate_scheduled_op_racy(scheduled.schedule_of(op), operands)[0]
+        assert not np.allclose(got, expected)
+
+
+class TestDifferentialChecker:
+    def test_strict_checker_raises_on_seeded_disagreement(self):
+        # the coupled op is exactly the case where the heuristic
+        # interchange mask and the analyzer disagree
+        func, op = _coupled_func()
+        config = extended_config(max_loops=4)
+        scheduled = ScheduledFunction(func)
+        schedule = scheduled.schedule_of(op)
+        mask = compute_mask(schedule, config, has_producer=False)
+        checker = DifferentialChecker(config, strict=True)
+        with pytest.raises(DifferentialDisagreement):
+            checker.check_mask(scheduled, op, mask)
+
+    def test_lenient_checker_counts_instead(self):
+        func, op = _coupled_func()
+        config = extended_config(max_loops=4)
+        scheduled = ScheduledFunction(func)
+        mask = compute_mask(
+            scheduled.schedule_of(op), config, has_producer=False
+        )
+        checker = DifferentialChecker(config, strict=False)
+        checker.check_mask(scheduled, op, mask)
+        assert checker.stats.disagreements >= 1
+        assert checker.stats.examples
+
+    def test_sweep_500_generated_programs_zero_disagreements(self):
+        # the PR's acceptance gate: analyzer vs hand-written predicates
+        # over the full generator universe, fixed seed
+        stats = differential_sweep(num_programs=500, seed=0, strict=True)
+        assert stats.programs == 500
+        assert stats.masks_checked > 0
+        assert stats.records_checked > 0
+        assert stats.disagreements == 0
+
+
+class TestEnvIntegration:
+    def test_verifying_env_episode_clean(self):
+        from repro.datasets.generator import generate_program
+        from repro.env import MlirRlEnv
+        from repro.env.actions import EnvAction
+
+        config = extended_config(
+            "parallelization", max_loops=8, verify_transforms=True
+        )
+        rng = np.random.default_rng(0)
+        env = MlirRlEnv(
+            benchmark_provider=lambda: generate_program(rng), config=config
+        )
+        table = flat_action_table(config)
+        obs = env.reset()
+        done = False
+        while not done:
+            mask = obs.mask
+            n = env.current_schedule().num_loops
+            pool = [
+                flat
+                for flat in table
+                if mask.transformation[int(flat.kind)]
+                and flat._spec().flat_legal(flat, mask, n, config)
+            ]
+            flat = pool[int(rng.integers(len(pool)))]
+            result = env.step(
+                EnvAction(flat.kind, record=flat.to_record(n))
+            )
+            done = result.done
+            obs = result.observation
+        assert result.info["verifier"]["disagreements"] == 0
+        assert result.info["verifier"]["masks_checked"] > 0
