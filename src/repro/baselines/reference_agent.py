@@ -17,6 +17,7 @@ op affects (its own, plus its not-yet-fused producer's).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..env.config import PAPER_CONFIG, EnvConfig
@@ -75,13 +76,34 @@ class BeamSearchAgent(OptimizationMethod):
         spec=None,
         beam_width: int = 4,
         config: EnvConfig = PAPER_CONFIG,
+        executor=None,
+        evaluator=None,
+        verify_pool: int = 12,
+        cost_beam_factor: int = 6,
     ):
         if spec is not None:
-            super().__init__(spec)
+            super().__init__(spec, executor=executor)
         else:
-            super().__init__()
+            super().__init__(executor=executor)
         self.beam_width = beam_width
         self.config = config
+        #: Cost mode only: how many of the model's best-ranked states
+        #: (across the whole per-op search) are real-evaluated at the
+        #: end to pick the winner.
+        self.verify_pool = verify_pool
+        #: Cost mode only: beam-width multiplier.  Model scoring is
+        #: orders of magnitude cheaper than real evaluation, so a
+        #: model-guided search affords a wider beam for the same budget
+        #: — the standard trade of learned-cost-model autoschedulers.
+        self.cost_beam_factor = cost_beam_factor
+        #: Optional ScheduleCostEvaluator: when set, beam expansions are
+        #: ranked by batched cost-model forward passes instead of the
+        #: machine model, and only the per-op finalists are real-evaluated.
+        self.evaluator = evaluator
+        #: Scoring telemetry (both modes): candidate count and the wall
+        #: time spent ranking them — the cost-vs-real throughput metric.
+        self.candidates_scored = 0
+        self.scoring_seconds = 0.0
 
     # -- local scoring ----------------------------------------------------------
 
@@ -110,21 +132,50 @@ class BeamSearchAgent(OptimizationMethod):
             ).total
         return total
 
+    def _score_batch(
+        self,
+        states: list[_BeamState],
+        op: LinalgOp,
+        keys: list[tuple | None] | None = None,
+    ) -> list[float]:
+        """Rank one expansion: machine model per state, or — with an
+        evaluator — one batched cost-model forward pass (states the
+        model cannot key fall back to the machine model)."""
+        start = time.perf_counter()
+        if self.evaluator is None:
+            scores = [
+                self._local_seconds(state.scheduled, op) for state in states
+            ]
+        else:
+            predicted = self.evaluator.score_batch(
+                [state.scheduled for state in states], keys=keys
+            )
+            scores = [
+                score
+                if score is not None
+                else self._local_seconds(state.scheduled, op)
+                for state, score in zip(states, predicted)
+            ]
+        self.candidates_scored += len(states)
+        self.scoring_seconds += time.perf_counter() - start
+        return scores
+
     # -- per-op beam ---------------------------------------------------------------
 
     def _optimize_op(
         self, scheduled: ScheduledFunction, op: LinalgOp
     ) -> ScheduledFunction:
         initial = _BeamState(
-            scheduled=scheduled,
-            steps=0,
-            terminal=False,
-            score=self._local_seconds(scheduled, op),
+            scheduled=scheduled, steps=0, terminal=False, score=0.0
         )
+        initial.score = self._score_batch([initial], op)[0]
         beam = [initial]
         best = initial
+        pool: list[_BeamState] = []
         for _ in range(self.config.max_schedule_length):
             expansions: list[_BeamState] = []
+            keys: list[tuple | None] = []
+            seen_keys: set[tuple] = set()
             for state in beam:
                 if state.terminal:
                     continue
@@ -140,24 +191,77 @@ class BeamSearchAgent(OptimizationMethod):
                         clone.apply(op, record)
                     except TransformError:
                         continue
+                    # Identical schedules reached via different action
+                    # orders score identically: keep the first, skip the
+                    # rest before paying for evaluation.  Unkeyable
+                    # schedules are kept (cannot prove them duplicates).
+                    key = clone.schedule_key()
+                    if key is not None:
+                        if key in seen_keys:
+                            continue
+                        seen_keys.add(key)
                     record_spec = spec_for_record(type(record))
-                    new_state = _BeamState(
-                        scheduled=clone,
-                        steps=state.steps + 1,
-                        terminal=bool(
-                            record_spec is not None and record_spec.ends_op
-                        ),
-                        score=self._local_seconds(clone, op),
-                        history=state.history + [record],
+                    expansions.append(
+                        _BeamState(
+                            scheduled=clone,
+                            steps=state.steps + 1,
+                            terminal=bool(
+                                record_spec is not None
+                                and record_spec.ends_op
+                            ),
+                            score=0.0,
+                            history=state.history + [record],
+                        )
                     )
-                    expansions.append(new_state)
+                    keys.append(key)
             if not expansions:
                 break
+            for state, score in zip(
+                expansions, self._score_batch(expansions, op, keys=keys)
+            ):
+                state.score = score
             expansions.sort(key=lambda s: s.score)
-            beam = expansions[: self.beam_width]
+            width = self.beam_width
+            if self.evaluator is not None:
+                width *= self.cost_beam_factor
+            beam = expansions[:width]
             if beam[0].score < best.score:
                 best = beam[0]
+            if self.evaluator is not None:
+                pool.extend(beam)
+                pool.sort(key=lambda s: s.score)
+                del pool[self.verify_pool :]
+        if self.evaluator is not None:
+            return self._select_real(op, initial, best, beam, pool)
         return best.scheduled
+
+    def _select_real(
+        self,
+        op: LinalgOp,
+        initial: _BeamState,
+        best: _BeamState,
+        beam: list[_BeamState],
+        pool: list[_BeamState],
+    ) -> ScheduledFunction:
+        """Cost-mode finalist selection: real-evaluate only the final
+        contenders (initial state, tracked best, surviving beam, and
+        the model's ``verify_pool`` best-ranked states from the whole
+        search) and keep the machine-model winner — so a cost-guided
+        search never returns a schedule the machine model rates worse
+        than leaving the op untouched, and a model that merely gets a
+        good state *near* the top is enough."""
+        finalists: list[_BeamState] = []
+        seen: set[int] = set()
+        for state in (initial, best, *beam, *pool):
+            if id(state) not in seen:
+                seen.add(id(state))
+                finalists.append(state)
+        ranked = [
+            (self._local_seconds(state.scheduled, op), index)
+            for index, state in enumerate(finalists)
+        ]
+        ranked.sort()
+        return finalists[ranked[0][1]].scheduled
 
     # -- full function ----------------------------------------------------------------
 
@@ -195,5 +299,17 @@ class GreedyAgent(BeamSearchAgent):
 
     name = "mlir-rl-greedy"
 
-    def __init__(self, spec=None, config: EnvConfig = PAPER_CONFIG):
-        super().__init__(spec, beam_width=1, config=config)
+    def __init__(
+        self,
+        spec=None,
+        config: EnvConfig = PAPER_CONFIG,
+        executor=None,
+        evaluator=None,
+    ):
+        super().__init__(
+            spec,
+            beam_width=1,
+            config=config,
+            executor=executor,
+            evaluator=evaluator,
+        )

@@ -8,7 +8,14 @@ Mirrors the paper artifact's shell scripts:
 * ``optimize``  — schedule one model/app and print the schedule script;
 * ``analyze``   — dependence report, schedule verification, or the
   analyzer-vs-predicate differential sweep;
-* ``profile``   — cProfile one training epoch (top cumulative entries).
+* ``profile``   — cProfile one training epoch (top cumulative entries);
+* ``cost-export`` — build a schedule-timing corpus and export it as a
+  training dataset for the learned cost model;
+* ``cost-train``  — fit the cost model on an exported dataset.
+
+``evaluate`` and ``optimize`` accept ``--eval cost --cost-model PATH``
+to rank search candidates with the learned model (real-evaluating only
+the finalists) instead of pricing every candidate on the machine model.
 """
 
 from __future__ import annotations
@@ -97,6 +104,72 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cost_model(path: str):
+    """Load + layout-check a saved cost model; None (message printed)
+    on failure."""
+    from .machine.dataset import check_model_compatible
+    from .nn import load_cost_model
+
+    try:
+        model = load_cost_model(path)
+        check_model_compatible(model)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load cost model {path!r}: {error}")
+        return None
+    return model
+
+
+def _add_eval_arguments(parser) -> None:
+    parser.add_argument(
+        "--eval",
+        choices=("real", "cost"),
+        default="real",
+        help="candidate ranking during search: 'real' prices every "
+        "candidate on the machine model; 'cost' ranks with the learned "
+        "cost model (batched forward passes) and real-evaluates only "
+        "the finalists — needs --cost-model",
+    )
+    parser.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="a model saved by `repro cost-train` (required with "
+        "--eval cost)",
+    )
+
+
+def _attach_cost_evaluator(args: argparse.Namespace, agents: list) -> bool:
+    """Wire --eval cost onto search agents; False = bad arguments."""
+    if getattr(args, "eval", "real") != "cost":
+        return True
+    if not args.cost_model:
+        print(
+            "--eval cost needs --cost-model PATH; train one with "
+            "`repro cost-export` + `repro cost-train`"
+        )
+        return False
+    model = _load_cost_model(args.cost_model)
+    if model is None:
+        return False
+    from .machine.dataset import ScheduleCostEvaluator
+
+    for agent in agents:
+        agent.evaluator = ScheduleCostEvaluator(
+            model, agent.spec, executor=agent.executor
+        )
+    return True
+
+
+def _print_scoring_stats(agents: list) -> None:
+    scored = sum(agent.candidates_scored for agent in agents)
+    seconds = sum(agent.scoring_seconds for agent in agents)
+    if scored and seconds > 0:
+        print(
+            f"candidate scoring: {scored} candidates in {seconds:.2f} s "
+            f"({scored / seconds:,.0f}/s)"
+        )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .baselines import (
         BeamSearchAgent,
@@ -115,8 +188,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if machines is None:
         return 1
     machine = machines[0]
+    agent = BeamSearchAgent(machine)
+    if not _attach_cost_evaluator(args, [agent]):
+        return 1
     methods = [
-        BeamSearchAgent(machine),
+        agent,
         HalideRL(machine),
         PyTorchEager(machine),
         PyTorchCompiler(machine),
@@ -130,6 +206,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     suite = run_operator_suite(cases, methods, FIG5_METHOD_OPERATORS)
     print(f"machine: {args.machine}")
     print(render_fig5(suite))
+    _print_scoring_stats([agent])
     if suite.cache is not None:
         # Per-suite delta (not process-lifetime pool stats).
         requests = suite.cache["hits"] + suite.cache["misses"]
@@ -349,7 +426,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     func = factory()
     baseline = MlirBaseline(machine).seconds(func)
     agent = GreedyAgent(machine)
+    if not _attach_cost_evaluator(args, [agent]):
+        return 1
     result = agent.run(func)
+    _print_scoring_stats([agent])
     print(
         f"{args.target} on {args.machine}: {baseline * 1e3:.2f} ms -> "
         f"{result.seconds * 1e3:.2f} ms "
@@ -428,6 +508,78 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cost_export(args: argparse.Namespace) -> int:
+    """Build (or reload) a timing corpus and export the training set."""
+    from .machine import ExecutionCache, export_dataset
+    from .machine.dataset import build_corpus
+
+    if args.from_cache:
+        cache = ExecutionCache()
+        try:
+            entries = cache.load(args.from_cache)
+        except (OSError, ValueError) as error:
+            print(f"cannot load cache {args.from_cache!r}: {error}")
+            return 1
+        print(f"loaded {entries} cache entries from {args.from_cache}")
+    else:
+        machines = _resolve_machines(args.machine)
+        if machines is None:
+            return 1
+        if len(machines) != 1:
+            print("cost-export builds one machine's corpus at a time")
+            return 1
+        cache = build_corpus(
+            num_programs=args.programs,
+            schedules_per_program=args.schedules,
+            seed=args.seed,
+            machine=machines[0],
+        )
+    if args.save_cache:
+        saved = cache.save(args.save_cache)
+        print(f"saved {saved} cache entries to {args.save_cache}")
+    dataset = export_dataset(cache)
+    if not len(dataset.targets):
+        print("cache produced no trainable samples; nothing written")
+        return 1
+    dataset.save(args.output)
+    print(
+        f"exported {len(dataset.targets)} samples "
+        f"({dataset.features.shape[1]} features each) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_cost_train(args: argparse.Namespace) -> int:
+    """Fit the learned cost model on an exported dataset."""
+    from .machine.dataset import CostDataset
+    from .nn import save_cost_model, train_cost_model
+
+    try:
+        dataset = CostDataset.load(args.data)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load dataset {args.data!r}: {error}")
+        return 1
+    try:
+        model, metrics = train_cost_model(
+            dataset,
+            seed=args.seed,
+            hidden=args.hidden,
+            epochs=args.epochs,
+        )
+    except ValueError as error:
+        print(f"training failed: {error}")
+        return 1
+    save_cost_model(model, args.output)
+    print(
+        f"trained on {metrics['train_samples']} samples "
+        f"({metrics['holdout_samples']} held out): "
+        f"train MAPE {metrics['train_mape']:.3f}, "
+        f"holdout MAPE {metrics['holdout_mape']:.3f}"
+    )
+    print(f"model saved to {args.output}")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     """argparse type: an integer >= 1 with a clear error message."""
     number = int(value)
@@ -453,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = commands.add_parser("evaluate", help="run the Fig. 5 suite")
     evaluate.add_argument("--operator", default=None)
     _add_machine_argument(evaluate)
+    _add_eval_arguments(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     train = commands.add_parser("train", help="train the PPO agent")
@@ -543,7 +696,69 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("target")
     optimize.add_argument("--script", default=None)
     _add_machine_argument(optimize)
+    _add_eval_arguments(optimize)
     optimize.set_defaults(func=_cmd_optimize)
+
+    cost_export = commands.add_parser(
+        "cost-export",
+        help="build a schedule-timing corpus and export a cost-model "
+        "training dataset",
+    )
+    cost_export.add_argument(
+        "--programs",
+        type=int,
+        default=64,
+        help="generator programs in the corpus (plus the paper's "
+        "training models)",
+    )
+    cost_export.add_argument(
+        "--schedules",
+        type=int,
+        default=8,
+        help="random schedule walks per program (every prefix state "
+        "is timed and exported)",
+    )
+    cost_export.add_argument("--seed", type=int, default=0)
+    _add_machine_argument(cost_export)
+    cost_export.add_argument(
+        "--output",
+        default="cost_dataset.npz",
+        help="where to write the exported dataset (.npz)",
+    )
+    cost_export.add_argument(
+        "--save-cache",
+        default=None,
+        metavar="PATH",
+        help="also persist the raw execution cache as JSON "
+        "(reload with --from-cache to re-export without re-timing)",
+    )
+    cost_export.add_argument(
+        "--from-cache",
+        default=None,
+        metavar="PATH",
+        help="export from a cache JSON saved by --save-cache instead "
+        "of building a fresh corpus (--programs/--schedules ignored)",
+    )
+    cost_export.set_defaults(func=_cmd_cost_export)
+
+    cost_train = commands.add_parser(
+        "cost-train",
+        help="train the learned cost model on an exported dataset",
+    )
+    cost_train.add_argument(
+        "--data",
+        default="cost_dataset.npz",
+        help="dataset written by cost-export",
+    )
+    cost_train.add_argument(
+        "--output",
+        default="cost_model.npz",
+        help="where to save the trained model",
+    )
+    cost_train.add_argument("--epochs", type=int, default=80)
+    cost_train.add_argument("--hidden", type=int, default=64)
+    cost_train.add_argument("--seed", type=int, default=0)
+    cost_train.set_defaults(func=_cmd_cost_train)
 
     analyze = commands.add_parser(
         "analyze",

@@ -131,6 +131,8 @@ class MlirRlEnv:
         #: bumped on every applied transform; keys the info-probe memo
         self._schedule_version = 0
         self._probe_memo: tuple[int, float] | None = None
+        #: real executor parked while a cost model is substituted
+        self._real_executor: Executor | None = None
 
     # -- episode control -------------------------------------------------------
 
@@ -180,6 +182,37 @@ class MlirRlEnv:
             self.executor, self.config.reward_mode
         )
         self._machine_vec = machine_feature_vector(self.config, spec)
+        self._probe_memo = None
+
+    def set_cost_model(self, model) -> None:
+        """Reward rollouts from a learned cost model instead of the
+        machine model (``model=None`` restores real evaluation).
+
+        Swaps the executor for a
+        :class:`~repro.machine.dataset.CostModelExecutor` targeting the
+        current spec; the real executor is parked and reinstated on
+        ``set_cost_model(None)``.  Rewards become *predictions* — use
+        for cheap rollouts/lookahead only, and always re-measure
+        reported schedules with a real executor.  Like
+        :meth:`set_machine`, call between episodes, not mid-episode.
+        """
+        if model is None:
+            if self._real_executor is not None:
+                self.executor = self._real_executor
+                self._real_executor = None
+        else:
+            from ..machine.dataset import CostModelExecutor
+
+            if self._real_executor is None:
+                self._real_executor = self.executor
+            self.executor = CostModelExecutor(
+                model,
+                spec=self._real_executor.spec,
+                fallback=self._real_executor,
+            )
+        self.reward_model = RewardModel(
+            self.executor, self.config.reward_mode
+        )
         self._probe_memo = None
 
     @property

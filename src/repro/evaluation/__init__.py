@@ -2,6 +2,7 @@
 
 from .experiments import (
     FIG5_METHOD_OPERATORS,
+    run_cost_model,
     run_fig5,
     run_fig6,
     run_fig7,
@@ -38,6 +39,7 @@ __all__ = [
     "render_tab3",
     "render_tab4",
     "render_training_curves",
+    "run_cost_model",
     "run_fig5",
     "run_fig6",
     "run_fig7",

@@ -8,6 +8,17 @@ baselines.
 """
 
 from .cache import CacheHierarchy, SetAssociativeCache, iterate_points, simulate_nest
+from .dataset import (
+    FEATURE_SIZE,
+    FEATURE_VERSION,
+    CostDataset,
+    CostModelExecutor,
+    RecordingEvaluator,
+    ScheduleCostEvaluator,
+    build_corpus,
+    export_dataset,
+    sample_features,
+)
 from .executor import ExecutionResult, Executor
 from .service import (
     CacheStats,
@@ -58,7 +69,11 @@ __all__ = [
     "CacheStats",
     "CachingExecutor",
     "COMPILED_DISPATCH_SECONDS",
+    "CostDataset",
+    "CostModelExecutor",
     "DEFAULT_MACHINE",
+    "FEATURE_SIZE",
+    "FEATURE_VERSION",
     "MACHINE_FEATURE_SIZE",
     "EAGER_DISPATCH_SECONDS",
     "ExecutionCache",
@@ -66,6 +81,8 @@ __all__ = [
     "Executor",
     "KernelProfile",
     "MachineSpec",
+    "RecordingEvaluator",
+    "ScheduleCostEvaluator",
     "SetAssociativeCache",
     "TimingBreakdown",
     "TrafficReport",
@@ -73,6 +90,8 @@ __all__ = [
     "access_lines",
     "block_footprint_bytes",
     "body_cost",
+    "build_corpus",
+    "export_dataset",
     "compulsory_bytes",
     "dram_traffic_bytes",
     "fused_group_time",
@@ -85,6 +104,7 @@ __all__ = [
     "nest_traffic",
     "nests_time",
     "op_flops",
+    "sample_features",
     "operand_bytes",
     "func_fingerprint",
     "pooled_executor",

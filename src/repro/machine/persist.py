@@ -1,0 +1,134 @@
+"""JSON codec for execution-cache entries.
+
+The :class:`~repro.machine.service.ExecutionCache` keys are identity-free
+structural tuples (that is what lets PR 3's drain/absorb ship them
+between processes), so they are also *persistable*: this module encodes
+the exact value space that appears in cache keys and values —
+
+* scalars (``str``/``int``/``float``/``bool``/``None``) pass through;
+* tuples become ``{"t": [...]}`` (JSON has no tuple, and decode must
+  restore hashability);
+* :class:`~repro.machine.spec.MachineSpec` /
+  :class:`~repro.machine.spec.CacheLevel` become tagged field dicts, so
+  a loaded key reconstructs a spec *equal* to the registered one (frozen
+  dataclass equality is field-wise) and spec-keyed lookups keep working
+  across processes and restarts;
+* :class:`~repro.machine.timing.TimingBreakdown` becomes a tagged field
+  list.
+
+``encode_value`` raises :class:`PersistError` on anything outside this
+space (e.g. a plugin annotation that froze to an object ``repr``);
+callers skip such entries instead of writing an unreadable file.
+Encoding is canonical — ``json.dumps(..., sort_keys=True)`` of an
+encoded value is a stable, deterministic string, which the dataset
+exporter uses as a sort key.
+"""
+
+from __future__ import annotations
+
+from .spec import CacheLevel, MachineSpec
+from .timing import TimingBreakdown
+
+
+class PersistError(ValueError):
+    """A value outside the persistable cache-entry space."""
+
+
+_SPEC_FIELDS = (
+    "cores",
+    "frequency",
+    "vector_bytes",
+    "fma_ports",
+    "load_ports",
+    "store_ports",
+    "issue_width",
+    "fp_latency",
+    "line_bytes",
+    "parallel_launch_seconds",
+    "op_launch_seconds",
+    "dram_bandwidth_per_core",
+    "dram_bandwidth_cap",
+)
+
+_CACHE_LEVEL_FIELDS = (
+    "name",
+    "capacity",
+    "shared",
+    "bandwidth_per_core",
+    "bandwidth_cap",
+)
+
+
+def encode_value(value: object) -> object:
+    """A JSON-serializable form of one cache-key/value component."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        # Not produced by current keys (fingerprints sort their
+        # reduction dims into tuples), but cheap to support and keeps
+        # the codec total over freeze_annotations output.
+        return {"fs": [encode_value(item) for item in sorted(value)]}
+    if isinstance(value, MachineSpec):
+        fields = {name: getattr(value, name) for name in _SPEC_FIELDS}
+        fields["caches"] = [
+            {name: getattr(level, name) for name in _CACHE_LEVEL_FIELDS}
+            for level in value.caches
+        ]
+        return {"spec": fields}
+    if isinstance(value, TimingBreakdown):
+        return {
+            "bd": [
+                value.total,
+                value.compute,
+                value.memory,
+                value.overhead,
+                value.cores,
+            ]
+        }
+    raise PersistError(f"cannot persist {type(value).__name__}: {value!r}")
+
+
+def decode_value(value: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        if "t" in value:
+            return tuple(decode_value(item) for item in value["t"])
+        if "fs" in value:
+            return frozenset(decode_value(item) for item in value["fs"])
+        if "spec" in value:
+            fields = dict(value["spec"])
+            caches = tuple(
+                CacheLevel(**level) for level in fields.pop("caches")
+            )
+            return MachineSpec(caches=caches, **fields)
+        if "bd" in value:
+            total, compute, memory, overhead, cores = value["bd"]
+            return TimingBreakdown(total, compute, memory, overhead, cores)
+        raise PersistError(f"unknown tag in {sorted(value)}")
+    raise PersistError(f"cannot decode {type(value).__name__}: {value!r}")
+
+
+def encode_entry(
+    level: str, key: tuple, breakdown: TimingBreakdown
+) -> list | None:
+    """One ``[level, key, breakdown]`` JSON row, or None if unencodable."""
+    try:
+        return [level, encode_value(key), encode_value(breakdown)]
+    except PersistError:
+        return None
+
+
+def decode_entry(row: list) -> tuple[str, tuple, TimingBreakdown]:
+    """Inverse of :func:`encode_entry` (raises on malformed rows)."""
+    level, key, breakdown = row
+    decoded_key = decode_value(key)
+    decoded_breakdown = decode_value(breakdown)
+    if not isinstance(decoded_key, tuple) or not isinstance(
+        decoded_breakdown, TimingBreakdown
+    ):
+        raise PersistError(f"malformed cache entry row: {row!r}")
+    return (level, decoded_key, decoded_breakdown)

@@ -42,10 +42,12 @@ schedules can never collide.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..ir.ops import FuncOp
 from ..transforms.loop_nest import LoweredNest
@@ -434,6 +436,75 @@ class ExecutionCache:
                 if len(store) > cap:
                     store.popitem(last=False)
         return added
+
+    def schedule_items(self) -> list[tuple[tuple, TimingBreakdown]]:
+        """Snapshot of the schedule-level entries (key, breakdown).
+
+        The dataset exporter's input: every key is an identity-free
+        structural tuple, every value the exact whole-function breakdown
+        the cost model produced for it.
+        """
+        with self._lock:
+            return list(self._schedule_entries.items())
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write both cache levels to ``path`` as JSON; returns the
+        number of entries written.
+
+        Entries are the identity-free (level, key, breakdown) triples of
+        :meth:`drain_updates`, encoded by :mod:`repro.machine.persist`
+        and sorted canonically — the same cache contents always produce
+        a byte-identical file.  Entries whose keys fall outside the
+        persistable space (e.g. exotic plugin annotations) are skipped,
+        never corrupted.
+        """
+        from .persist import encode_entry
+
+        with self._lock:
+            triples = [
+                ("nest", key, value) for key, value in self._entries.items()
+            ] + [
+                ("schedule", key, value)
+                for key, value in self._schedule_entries.items()
+            ]
+        rows = []
+        for level, key, value in triples:
+            row = encode_entry(level, key, value)
+            if row is not None:
+                rows.append(row)
+        rows.sort(key=lambda row: json.dumps(row, sort_keys=True))
+        payload = {"version": 1, "entries": rows}
+        Path(path).write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+        return len(rows)
+
+    def load(self, path: str | Path) -> int:
+        """Absorb entries from a :meth:`save` file; returns how many
+        were new.  Loaded timings are bit-identical to the saved ones,
+        and keys stay spec-keyed (a reconstructed
+        :class:`~repro.machine.spec.MachineSpec` compares equal to the
+        registered one), so a warm cache survives restarts.
+        """
+        from .persist import PersistError, decode_entry
+
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported cache file version {version!r} in {path}"
+            )
+        updates = []
+        for row in payload.get("entries", []):
+            try:
+                updates.append(decode_entry(row))
+            except (PersistError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"corrupt cache entry in {path}: {error}"
+                ) from error
+        return self.absorb_updates(updates)
 
     def clear(self) -> None:
         with self._lock:

@@ -1,6 +1,12 @@
 """Numpy reverse-mode autograd, layers, optimizers and distributions —
 the from-scratch substrate for the paper's actor-critic networks."""
 
+from .cost_model import (
+    CostModel,
+    load_cost_model,
+    save_cost_model,
+    train_cost_model,
+)
 from .distributions import MaskedCategorical
 from .layers import LSTMCell, LSTMEncoder, Linear, MLP, Module
 from .optim import SGD, Adam, clip_grad_norm
@@ -15,6 +21,7 @@ from .tensor import (
 
 __all__ = [
     "Adam",
+    "CostModel",
     "LSTMCell",
     "LSTMEncoder",
     "Linear",
@@ -25,8 +32,11 @@ __all__ = [
     "Tensor",
     "clip_grad_norm",
     "concatenate",
+    "load_cost_model",
     "log_softmax",
+    "save_cost_model",
     "softmax",
     "stack",
+    "train_cost_model",
     "where",
 ]
