@@ -255,8 +255,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     first_machine = (
         args.machine if args.machine != "all" else DEFAULT_MACHINE
     )
+    chaos_plan = None
+    if args.chaos:
+        from .fault import FaultPlan, install_plan
+
+        try:
+            chaos_plan = FaultPlan.parse(args.chaos)
+        except (ValueError, OSError) as error:
+            print(f"cannot parse --chaos plan: {error}")
+            return 1
+        install_plan(chaos_plan)
     config = small_config(
-        machine=first_machine, machine_features=machine_features
+        machine=first_machine,
+        machine_features=machine_features,
+        # Chaos runs need the guards the injected faults exercise; the
+        # guarded fault-free path is bit-identical to the unguarded one.
+        fault_tolerance=bool(chaos_plan) or args.supervise,
     )
     if args.transforms:
         from .transforms.registry import actionable_transforms
@@ -299,6 +313,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             minibatch_size=16,
             num_envs=args.num_envs,
             num_workers=args.workers,
+            supervise_workers=bool(chaos_plan) or args.supervise,
         ),
         seed=args.seed,
         machines=machines if len(machines) > 1 else None,
@@ -335,6 +350,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"(resumable state: {state_path})"
     )
     _print_cache_stats(env.executor)
+    if chaos_plan is not None:
+        from .fault import install_plan
+
+        install_plan(None)
+        print(chaos_plan.report())
     return 0
 
 
@@ -685,6 +705,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where to write the resumable training state "
         "(default: <checkpoint>.state.npz)",
+    )
+    train.add_argument(
+        "--chaos",
+        default="",
+        help="deterministic fault-injection plan (chaos testing): "
+        "explicit events like "
+        "'exec.timeout@2,worker.kill@1,write.partial_write@1', "
+        "randomized counts like 'kills=1,timeouts=2,seed=7', or a JSON "
+        "plan file; implies fault tolerance + worker supervision, and "
+        "prints a fired/pending report after the run",
+    )
+    train.add_argument(
+        "--supervise",
+        action="store_true",
+        help="enable execution guards and rollout-worker supervision "
+        "without injecting faults: hung/dead workers are respawned and "
+        "their episodes replayed (reward-identical), degrading to "
+        "in-process collection after repeated respawn failures",
     )
     train.add_argument("--hidden", type=int, default=64)
     train.add_argument("--scale", type=float, default=0.01)

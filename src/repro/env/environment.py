@@ -99,6 +99,31 @@ class MlirRlEnv:
         #: otherwise); an explicit executor wins and defines the true
         #: target — observations condition on ``executor.spec``.
         self.executor = executor or CachingExecutor(config.machine_spec())
+        #: opt-in fault tolerance (``EnvConfig.fault_tolerance``): the
+        #: executor is wrapped in a GuardedExecutor (timeouts, retries,
+        #: quarantine) and execution faults end the episode with the
+        #: sentinel ``fault_penalty`` reward instead of raising.
+        #: Imported lazily — the default path never touches
+        #: :mod:`repro.fault` and stays bit-identical.
+        self._fault_types: tuple = ()
+        if config.fault_tolerance:
+            from ..fault.guard import (
+                ExecutionFault,
+                GuardedExecutor,
+                GuardPolicy,
+            )
+
+            if not isinstance(self.executor, GuardedExecutor):
+                self.executor = GuardedExecutor(
+                    self.executor,
+                    GuardPolicy(
+                        timeout_seconds=config.exec_timeout_seconds,
+                        retries=config.exec_retries,
+                        backoff_seconds=config.exec_backoff_seconds,
+                        quarantine_threshold=config.quarantine_threshold,
+                    ),
+                )
+            self._fault_types = (ExecutionFault,)
         #: incremental _observe(): per-op static feature memos plus a
         #: mask LRU keyed by (op, schedule state, pointer state); False
         #: recomputes everything each step (the pre-fast-path behavior,
@@ -137,24 +162,43 @@ class MlirRlEnv:
     # -- episode control -------------------------------------------------------
 
     def reset(self, func: FuncOp | None = None) -> Observation:
-        """Start a new episode on ``func`` (or the provider's next one)."""
-        if func is None:
+        """Start a new episode on ``func`` (or the provider's next one).
+
+        With fault tolerance on, a provider-drawn function whose
+        baseline evaluation faults (timeout past retries, quarantined)
+        is replaced by the provider's next draw, up to
+        ``exec_retries`` redraws; an explicitly given function re-raises
+        — the caller chose it.
+        """
+        provider_drawn = func is None
+        if provider_drawn:
             if self._provider is None:
                 raise ValueError("no benchmark provider and no function given")
             func = self._provider()
-        if not func.body:
-            raise ValueError(f"function @{func.name} has no linalg ops")
-        self._func = func
-        self.scheduled = ScheduledFunction(func)
-        self._histories = {}
-        self._visited = set()
-        self._pointer_placed = []
-        self._episode_steps = 0
-        self._schedule_version = 0
-        self._probe_memo = None
-        self._current = func.body[-1]
-        self._reward_state = self.reward_model.start_episode(self.scheduled)
-        return self._observe()
+        redraws = self.config.exec_retries if provider_drawn else 0
+        while True:
+            if not func.body:
+                raise ValueError(f"function @{func.name} has no linalg ops")
+            self._func = func
+            self.scheduled = ScheduledFunction(func)
+            self._histories = {}
+            self._visited = set()
+            self._pointer_placed = []
+            self._episode_steps = 0
+            self._schedule_version = 0
+            self._probe_memo = None
+            self._current = func.body[-1]
+            try:
+                self._reward_state = self.reward_model.start_episode(
+                    self.scheduled
+                )
+            except self._fault_types:
+                if redraws <= 0:
+                    raise
+                redraws -= 1
+                func = self._provider()
+                continue
+            return self._observe()
 
     def set_machine(
         self, spec: MachineSpec | str, executor: Executor | None = None
@@ -371,34 +415,40 @@ class MlirRlEnv:
             and self._episode_steps >= self.config.max_episode_steps
         )
 
-        if illegal:
-            # Illegal actions should be masked; reaching here means the
-            # agent ignored the mask.  Penalize mildly and continue —
-            # unless the step budget is exhausted, which ends the episode
-            # (otherwise a mask-ignoring agent loops forever).
-            info["illegal"] = True
-            if truncated:
-                return self._finish_truncated(info, penalty=-0.1)
-            observation = self._observe()
-            self._attach_exec_info(info)
-            return StepResult(observation, -0.1, False, info)
+        try:
+            if illegal:
+                # Illegal actions should be masked; reaching here means
+                # the agent ignored the mask.  Penalize mildly and
+                # continue — unless the step budget is exhausted, which
+                # ends the episode (otherwise a mask-ignoring agent
+                # loops forever).
+                info["illegal"] = True
+                if truncated:
+                    return self._finish_truncated(info, penalty=-0.1)
+                observation = self._observe()
+                self._attach_exec_info(info)
+                return StepResult(observation, -0.1, False, info)
 
-        budget_exhausted = history.step >= self.config.max_schedule_length
-        if budget_exhausted and not self._pointer_placed:
-            done_with_op = True
+            budget_exhausted = (
+                history.step >= self.config.max_schedule_length
+            )
+            if budget_exhausted and not self._pointer_placed:
+                done_with_op = True
 
-        done = False
-        if done_with_op:
-            done = self._advance()
-        if truncated and not done:
-            return self._finish_truncated(info)
+            done = False
+            if done_with_op:
+                done = self._advance()
+            if truncated and not done:
+                return self._finish_truncated(info)
 
-        reward = self.reward_model.step_reward(
-            self._reward_state, self.scheduled, done
-        )
-        self._attach_exec_info(info, done)
-        observation = None if done else self._observe()
-        return StepResult(observation, reward, done, info)
+            reward = self.reward_model.step_reward(
+                self._reward_state, self.scheduled, done
+            )
+            self._attach_exec_info(info, done)
+            observation = None if done else self._observe()
+            return StepResult(observation, reward, done, info)
+        except self._fault_types as error:
+            return self._finish_faulted(info, error)
 
     def _finish_truncated(self, info: dict, penalty: float = 0.0) -> StepResult:
         """End the episode at the step cap with the terminal reward."""
@@ -411,6 +461,23 @@ class MlirRlEnv:
         )
         self._attach_exec_info(info, done=True)
         return StepResult(None, reward, True, info)
+
+    def _finish_faulted(self, info: dict, error: Exception) -> StepResult:
+        """End the episode with the sentinel penalty after an
+        evaluation faulted past all retries (or was quarantined).
+
+        The episode cannot continue — its reward signal is gone — but
+        the *rollout* can: the caller sees a normal terminal step with
+        ``info["execution_fault"]`` set, a neutral ``speedup`` of 1.0,
+        and :attr:`EnvConfig.fault_penalty` as the reward.
+        """
+        assert self._reward_state is not None
+        info["execution_fault"] = f"{type(error).__name__}: {error}"
+        info["speedup"] = 1.0
+        info["executions"] = self._reward_state.executions
+        self._pointer_placed = []
+        self._current = None
+        return StepResult(None, self.config.fault_penalty, True, info)
 
     def _attach_exec_info(self, info: dict, done: bool = False) -> None:
         """Record speedup/execution telemetry on a step's info dict.

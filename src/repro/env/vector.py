@@ -225,6 +225,21 @@ def _unpack_observation(payload) -> Observation | None:
     return Observation(consumer=consumer, producer=producer, mask=mask)
 
 
+class WorkerError(RuntimeError):
+    """A worker process died, hung, or desynchronized its pipe protocol.
+
+    Carries which worker failed (``index``) and whether the process was
+    still alive when the failure was detected (``alive`` — True means a
+    hang/timeout rather than a death), so supervisors can pick the
+    right recovery and error messages can say what actually happened.
+    """
+
+    def __init__(self, index: int, message: str, alive: bool = False):
+        super().__init__(message)
+        self.index = index
+        self.alive = alive
+
+
 def _async_env_worker(
     conn,
     config: EnvConfig,
@@ -281,8 +296,32 @@ def _async_env_worker(
                 elif command == "cache_absorb":
                     env.executor.cache.absorb_updates(message[1])
                     conn.send(("ok", None))
+                elif command == "cache_seed":
+                    # Supervisor warm-start: everything in the payload is
+                    # already known to the parent and peers, so start the
+                    # journal instead of letting the first drain
+                    # re-broadcast the whole store.
+                    env.executor.cache.absorb_updates(message[1])
+                    env.executor.cache.begin_journal()
+                    conn.send(("ok", None))
                 elif command == "set_machine":
                     env.set_machine(message[1])
+                    conn.send(("ok", None))
+                elif command == "burn_draws":
+                    # Supervisor replay: fast-forward the provider's RNG
+                    # consumption past draws a dead predecessor already
+                    # made, so the respawned worker's next reset(None)
+                    # yields the draw the episode actually ran on.
+                    for _ in range(message[1]):
+                        if provider is not None:
+                            provider()
+                    conn.send(("ok", None))
+                elif command == "hang":
+                    # Test hook: simulate a hung (alive but unresponsive)
+                    # worker for the supervisor's recv-timeout path.
+                    import time as _time
+
+                    _time.sleep(message[1])
                     conn.send(("ok", None))
                 elif command == "close":
                     conn.send(("ok", None))
@@ -340,31 +379,40 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        context = mp.get_context(start_method)
+        #: respawn ingredients, kept so a supervisor can replace a dead
+        #: worker with one seeded by the *original* SeedSequence spawn
+        #: key (deterministic replay) on the *current* machine spec.
+        self._context = mp.get_context(start_method)
+        self._provider = benchmark_provider
+        self._worker_seeds = np.random.SeedSequence(seed).spawn(num_envs)
+        self._machine = config.machine_spec()
         self._parents = []
         self._processes = []
-        worker_seeds = np.random.SeedSequence(seed).spawn(num_envs)
-        machine = config.machine_spec()
         for index in range(num_envs):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_async_env_worker,
-                args=(
-                    child_conn,
-                    config,
-                    benchmark_provider,
-                    worker_seeds[index],
-                    machine,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            parent_conn, process = self._spawn_worker(index)
             self._parents.append(parent_conn)
             self._processes.append(process)
         self._observations: list[Observation | None] = [None] * num_envs
         self._feature = feature_size(config)
         self._closed = False
+
+    def _spawn_worker(self, index: int):
+        """Start worker ``index``; returns (parent pipe end, process)."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_async_env_worker,
+            args=(
+                child_conn,
+                self.config,
+                self._provider,
+                self._worker_seeds[index],
+                self._machine,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
 
     @property
     def num_envs(self) -> int:
@@ -372,21 +420,74 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
 
     # -- worker protocol --------------------------------------------------------
 
-    def _send(self, index: int, message: tuple) -> None:
+    def _send_raw(self, index: int, message: tuple) -> None:
+        """Send without pool teardown; raises :class:`WorkerError` on a
+        broken pipe (worker already dead)."""
         if self._closed:
             raise RuntimeError("async vector environment is closed")
-        self._parents[index].send(message)
+        try:
+            self._parents[index].send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError) as error:
+            raise WorkerError(
+                index,
+                f"worker {index} died before receiving "
+                f"{message[0]!r}: {type(error).__name__}",
+            ) from error
+
+    def _recv_raw(self, index: int, timeout: float | None = None):
+        """Receive without pool teardown.
+
+        Raises :class:`WorkerError` when the worker died (EOF/broken
+        pipe), hung past ``timeout`` seconds, or answered with an error
+        status — naming the worker in every case.  The caller decides
+        whether to tear the pool down (:meth:`_recv`) or recover the
+        one worker (a supervisor).
+        """
+        parent = self._parents[index]
+        try:
+            if timeout is not None and not parent.poll(timeout):
+                alive = self._processes[index].is_alive()
+                state = "is hung (alive but unresponsive)" if alive else "died"
+                raise WorkerError(
+                    index,
+                    f"worker {index} {state}: no reply within "
+                    f"{timeout:g}s",
+                    alive=alive,
+                )
+            status, payload = parent.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+            raise WorkerError(
+                index,
+                f"worker {index} died mid-command "
+                f"(exit code {self._processes[index].exitcode}): "
+                f"{type(error).__name__}",
+            ) from error
+        if status != "ok":
+            raise WorkerError(
+                index, f"worker {index} failed: {payload}", alive=True
+            )
+        return payload
+
+    def _send(self, index: int, message: tuple) -> None:
+        try:
+            self._send_raw(index, message)
+        except WorkerError:
+            # A dead worker desynchronizes nothing on send, but the pool
+            # cannot complete this vector operation — fail loudly and
+            # release every other worker.
+            self.close()
+            raise
 
     def _recv(self, index: int):
-        status, payload = self._parents[index].recv()
-        if status != "ok":
+        try:
+            return self._recv_raw(index)
+        except WorkerError:
             # Other workers may still have queued replies; a later recv
             # would read them against the wrong command.  The pool's
             # pipe protocol is desynchronized — tear it down so the next
             # use fails loudly (and PPOTrainer starts a fresh pool).
             self.close()
-            raise RuntimeError(f"worker {index} failed: {payload}")
-        return payload
+            raise
 
     # -- VecMlirRlEnv interface -------------------------------------------------
 
@@ -459,6 +560,7 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
             self._send(index, ("set_machine", spec))
         for index in range(self.num_envs):
             self._recv(index)
+        self._machine = spec  # respawned workers start on the new machine
         self.executor = retargeted_executor(self.executor, spec)
 
     def sync_timing_caches(self) -> int:
@@ -496,25 +598,34 @@ class AsyncVecMlirRlEnv(_VectorEnvBase):
         return self._closed
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Never blocks on a dead or hung worker: acknowledgements are
+        polled with a timeout rather than awaited, and a process that
+        does not join is terminated, then killed.
+        """
         if self._closed:
             return
         self._closed = True
         for parent in self._parents:
             try:
                 parent.send(("close",))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, ConnectionResetError, OSError):
                 pass
         for parent in self._parents:
             try:
-                parent.recv()
-            except (EOFError, OSError):
+                if parent.poll(1.0):
+                    parent.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                 pass
             parent.close()
         for process in self._processes:
             process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
+            if process.is_alive():
                 process.terminate()
+                process.join(timeout=1)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
 
     def __enter__(self) -> "AsyncVecMlirRlEnv":
         return self

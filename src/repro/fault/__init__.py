@@ -1,0 +1,64 @@
+"""Fault tolerance: execution guards, worker supervision, crash-safe
+persistence, and deterministic fault injection.
+
+See :mod:`repro.fault.plan` for the injection model, ``guard`` for
+timeouts/retries/quarantine around executors, ``supervision`` for the
+self-healing vector environment, and ``atomic`` for crash-safe writes.
+"""
+
+from .atomic import (
+    CorruptArtifactError,
+    atomic_write,
+    atomic_write_text,
+    checksum_path,
+    finalize_atomic,
+    verify_checksum,
+    write_checksum,
+)
+from .guard import (
+    ExecutionFault,
+    ExecutionTimeout,
+    GuardedExecutor,
+    GuardPolicy,
+    InjectedError,
+    QuarantinedError,
+    QuarantineList,
+)
+from .plan import (
+    SITE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FiredFault,
+    active_plan,
+    chaos,
+    install_plan,
+    random_plan,
+)
+from .supervision import SupervisedAsyncVecEnv, WorkerError
+
+__all__ = [
+    "SITE_KINDS",
+    "CorruptArtifactError",
+    "ExecutionFault",
+    "ExecutionTimeout",
+    "FaultEvent",
+    "FaultPlan",
+    "FiredFault",
+    "GuardPolicy",
+    "GuardedExecutor",
+    "InjectedError",
+    "QuarantineList",
+    "QuarantinedError",
+    "SupervisedAsyncVecEnv",
+    "WorkerError",
+    "active_plan",
+    "atomic_write",
+    "atomic_write_text",
+    "chaos",
+    "checksum_path",
+    "finalize_atomic",
+    "install_plan",
+    "random_plan",
+    "verify_checksum",
+    "write_checksum",
+]

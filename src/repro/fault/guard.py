@@ -1,0 +1,369 @@
+"""Execution guards: timeouts, bounded retries, and quarantine.
+
+The paper trains over thousands of generated programs whose worst-case
+execution time under a pathological schedule (deep tiling + unrolling
+blowups) is effectively unbounded, and an agentic loop must survive
+tool/execution failure to train stably.  :class:`GuardedExecutor` wraps
+any :class:`~repro.machine.executor.Executor` with:
+
+* a configurable **wall-clock timeout** per evaluation (run on a helper
+  thread; an overrun raises :class:`ExecutionTimeout` and abandons the
+  runaway call);
+* **bounded retries** with exponential backoff and seeded jitter, for
+  transient failures (an injected fault, a flaky measurement backend);
+* a persistent per-fingerprint **quarantine list**: a program/schedule
+  that keeps timing out or raising is remembered and skipped instantly
+  with :class:`QuarantinedError` — the environment converts that into a
+  sentinel penalty reward instead of aborting the episode.
+
+Results are bit-identical to the unguarded executor whenever the inner
+call succeeds (the guard adds no arithmetic), so guarded fault-free runs
+match unguarded runs exactly.  Injected faults come from the active
+:class:`~repro.fault.plan.FaultPlan` at site ``"exec"``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..ir.ops import FuncOp
+from ..machine.executor import ExecutionResult, Executor
+from ..transforms.pipeline import ScheduledFunction
+from .atomic import atomic_write_text, verify_checksum
+from .plan import FaultPlan, active_plan
+
+
+class ExecutionFault(RuntimeError):
+    """An execution failed past all retries (or was injected to)."""
+
+    def __init__(self, message: str, key: tuple | None = None):
+        super().__init__(message)
+        self.key = key
+
+
+class ExecutionTimeout(ExecutionFault):
+    """An execution overran its wall-clock budget."""
+
+
+class QuarantinedError(ExecutionFault):
+    """The fingerprint is quarantined; the call was skipped entirely."""
+
+
+class InjectedError(RuntimeError):
+    """The exception a ``FaultPlan`` ``exec.error`` event raises."""
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Knobs of one :class:`GuardedExecutor`."""
+
+    #: wall-clock budget per evaluation in seconds; 0 disables the
+    #: helper thread entirely (injected timeouts still fire).
+    timeout_seconds: float = 0.0
+    #: additional attempts after the first failure.
+    retries: int = 2
+    #: base backoff before retry ``n`` is ``backoff * 2**n`` seconds,
+    #: jittered by up to +50%; 0 retries immediately (tests).
+    backoff_seconds: float = 0.0
+    #: consecutive *calls* (not attempts) a fingerprint may fail before
+    #: being quarantined; 0 disables quarantine.
+    quarantine_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds < 0:
+            raise ValueError("timeout_seconds must be >= 0 (0 disables)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.quarantine_threshold < 0:
+            raise ValueError("quarantine_threshold must be >= 0 (0 disables)")
+
+
+class QuarantineList:
+    """Per-fingerprint failure counts with a persistent block list.
+
+    Keys are the executor's identity-free structural fingerprints, so a
+    quarantined schedule stays quarantined across processes and (via
+    :meth:`save`/:meth:`load`) restarts.  Fingerprints are stored by
+    their stable ``repr`` — the list only ever answers membership
+    queries, so the original tuple need not be reconstructed.
+    """
+
+    def __init__(self, threshold: int = 3):
+        self.threshold = threshold
+        self._failures: dict[str, int] = {}
+        self._blocked: set[str] = set()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _token(key: tuple) -> str:
+        return repr(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocked)
+
+    def is_quarantined(self, key: tuple) -> bool:
+        with self._lock:
+            return self._token(key) in self._blocked
+
+    def record_failure(self, key: tuple) -> bool:
+        """Count one failed call; True when ``key`` just got blocked."""
+        if self.threshold < 1:
+            return False
+        token = self._token(key)
+        with self._lock:
+            count = self._failures.get(token, 0) + 1
+            self._failures[token] = count
+            if count >= self.threshold and token not in self._blocked:
+                self._blocked.add(token)
+                return True
+            return False
+
+    def record_success(self, key: tuple) -> None:
+        """A success resets the consecutive-failure count."""
+        token = self._token(key)
+        with self._lock:
+            self._failures.pop(token, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._failures.clear()
+            self._blocked.clear()
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Atomically persist the block list; returns how many entries."""
+        import json
+
+        with self._lock:
+            payload = {
+                "version": 1,
+                "threshold": self.threshold,
+                "blocked": sorted(self._blocked),
+                "failures": dict(sorted(self._failures.items())),
+            }
+        atomic_write_text(
+            Path(path), json.dumps(payload, sort_keys=True)
+        )
+        return len(payload["blocked"])
+
+    def load(self, path: str | Path) -> int:
+        """Merge a saved block list; returns how many entries are new."""
+        import json
+
+        path = Path(path)
+        verify_checksum(path)
+        payload = json.loads(path.read_text())
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported quarantine file version in {path}"
+            )
+        added = 0
+        with self._lock:
+            for token in payload.get("blocked", []):
+                if token not in self._blocked:
+                    self._blocked.add(token)
+                    added += 1
+            for token, count in payload.get("failures", {}).items():
+                self._failures[token] = max(
+                    self._failures.get(token, 0), int(count)
+                )
+        return added
+
+
+def _run_with_timeout(
+    thunk: Callable[[], ExecutionResult], seconds: float, label: str
+) -> ExecutionResult:
+    """Run ``thunk`` with a wall-clock bound on a helper thread.
+
+    The thread is daemonic and abandoned on timeout — Python cannot
+    preempt it, but the caller regains control immediately and the
+    runaway call cannot block shutdown.
+    """
+    outcome: dict = {}
+    done = threading.Event()
+
+    def runner() -> None:
+        try:
+            outcome["value"] = thunk()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome["error"] = error
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name=f"guarded-exec:{label}"
+    )
+    thread.start()
+    if not done.wait(seconds):
+        raise ExecutionTimeout(
+            f"execution of {label} exceeded {seconds:g}s wall clock"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+class GuardedExecutor(Executor):
+    """Timeout/retry/quarantine wrapper around another executor.
+
+    Drop-in: same interface, same ``spec``, and (via delegation) the
+    same ``cache``/``stats`` surface as the wrapped
+    :class:`~repro.machine.service.CachingExecutor`, so cache syncing
+    and telemetry keep working through the guard.
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        policy: GuardPolicy = GuardPolicy(),
+        quarantine: QuarantineList | None = None,
+        plan: FaultPlan | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(inner.spec)
+        self.inner = inner
+        self.policy = policy
+        self.quarantine = (
+            quarantine
+            if quarantine is not None
+            else QuarantineList(policy.quarantine_threshold)
+        )
+        #: None falls back to the process-wide installed plan at call
+        #: time, so `repro train --chaos` reaches guards it never built.
+        self._plan = plan
+        self._jitter = np.random.default_rng(seed)
+        #: telemetry: calls that timed out / errored / were skipped.
+        self.timeouts = 0
+        self.errors = 0
+        self.retried = 0
+        self.skipped_quarantined = 0
+
+    # -- delegation -------------------------------------------------------------
+
+    @property
+    def cache(self):
+        return getattr(self.inner, "cache", None)
+
+    @property
+    def stats(self):
+        return getattr(self.inner, "stats", None)
+
+    def retargeted(self, spec) -> "GuardedExecutor":
+        """This guard around the inner executor retargeted to ``spec``
+        (shared quarantine — a quarantined schedule stays skipped on
+        every machine it was blocked on by key)."""
+        from ..machine.service import retargeted_executor
+
+        return GuardedExecutor(
+            retargeted_executor(self.inner, spec),
+            policy=self.policy,
+            quarantine=self.quarantine,
+            plan=self._plan,
+        )
+
+    # -- guarded calls ----------------------------------------------------------
+
+    def _fingerprint(self, kind: str, func: FuncOp, state=None) -> tuple:
+        from ..machine.service import func_fingerprint
+
+        fingerprint = func_fingerprint(func)
+        if fingerprint is None:
+            # Identity fallback: still lets repeated failures of the
+            # same in-memory object trip the quarantine.
+            fingerprint = (id(func),)
+        return (kind, fingerprint, state)
+
+    def _guarded(
+        self, key: tuple, label: str, thunk: Callable[[], ExecutionResult]
+    ) -> ExecutionResult:
+        if self.policy.quarantine_threshold and self.quarantine.is_quarantined(
+            key
+        ):
+            self.skipped_quarantined += 1
+            raise QuarantinedError(
+                f"{label} is quarantined after repeated failures", key=key
+            )
+        plan = self._plan if self._plan is not None else active_plan()
+        last: Exception | None = None
+        for attempt in range(self.policy.retries + 1):
+            if attempt:
+                self.retried += 1
+                self._backoff(attempt)
+            try:
+                injected = plan.draw("exec", context=label) if plan else None
+                if injected == "timeout":
+                    raise ExecutionTimeout(
+                        f"injected timeout on {label}"
+                    )
+                if injected == "error":
+                    raise InjectedError(f"injected error on {label}")
+                if self.policy.timeout_seconds > 0:
+                    result = _run_with_timeout(
+                        thunk, self.policy.timeout_seconds, label
+                    )
+                else:
+                    result = thunk()
+            except ExecutionTimeout as error:
+                self.timeouts += 1
+                last = error
+                continue
+            except Exception as error:  # noqa: BLE001 - converted below
+                self.errors += 1
+                last = error
+                continue
+            self.quarantine.record_success(key)
+            return result
+        newly_blocked = self.quarantine.record_failure(key)
+        detail = f"{type(last).__name__}: {last}"
+        message = (
+            f"{label} failed {self.policy.retries + 1} attempt(s): {detail}"
+        )
+        if newly_blocked:
+            message += " — fingerprint quarantined"
+        if isinstance(last, ExecutionTimeout):
+            raise ExecutionTimeout(message, key=key) from last
+        raise ExecutionFault(message, key=key) from last
+
+    def _backoff(self, attempt: int) -> None:
+        base = self.policy.backoff_seconds
+        if base <= 0:
+            return
+        jitter = 1.0 + 0.5 * float(self._jitter.random())
+        time.sleep(base * (2 ** (attempt - 1)) * jitter)
+
+    # -- Executor interface -----------------------------------------------------
+
+    def run_baseline(self, func: FuncOp) -> ExecutionResult:
+        key = self._fingerprint("baseline", func)
+        return self._guarded(
+            key, f"baseline @{func.name}", lambda: self.inner.run_baseline(func)
+        )
+
+    def run_scheduled(self, scheduled: ScheduledFunction) -> ExecutionResult:
+        key = self._fingerprint(
+            "scheduled", scheduled.func, scheduled.schedule_key()
+        )
+        return self._guarded(
+            key,
+            f"schedule @{scheduled.func.name}",
+            lambda: self.inner.run_scheduled(scheduled),
+        )
+
+    def telemetry(self) -> dict:
+        return {
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "retried": self.retried,
+            "skipped_quarantined": self.skipped_quarantined,
+            "quarantined": len(self.quarantine),
+        }

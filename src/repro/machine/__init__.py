@@ -21,6 +21,7 @@ from .dataset import (
 )
 from .executor import ExecutionResult, Executor
 from .service import (
+    CacheFormatError,
     CacheStats,
     CachingExecutor,
     ExecutionCache,
@@ -67,6 +68,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheLevel",
     "CacheStats",
+    "CacheFormatError",
     "CachingExecutor",
     "COMPILED_DISPATCH_SECONDS",
     "CostDataset",

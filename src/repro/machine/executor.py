@@ -11,6 +11,12 @@ whose two-level cache returns bit-identical results: a schedule-keyed
 level that replays whole-function timings without lowering at all, over
 a per-nest structural-fingerprint LRU that shares identical nests
 across schedules.
+
+Runs that must survive pathological schedules (unbounded worst-case
+execution time) or flaky measurement backends wrap any executor in
+:class:`repro.fault.guard.GuardedExecutor`, which adds wall-clock
+timeouts, bounded retries, and a per-fingerprint quarantine without
+changing any successful result.
 """
 
 from __future__ import annotations

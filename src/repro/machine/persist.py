@@ -100,11 +100,16 @@ def decode_value(value: object) -> object:
         if "fs" in value:
             return frozenset(decode_value(item) for item in value["fs"])
         if "spec" in value:
-            fields = dict(value["spec"])
-            caches = tuple(
-                CacheLevel(**level) for level in fields.pop("caches")
-            )
-            return MachineSpec(caches=caches, **fields)
+            try:
+                fields = dict(value["spec"])
+                caches = tuple(
+                    CacheLevel(**level) for level in fields.pop("caches")
+                )
+                return MachineSpec(caches=caches, **fields)
+            except (KeyError, TypeError, ValueError) as error:
+                raise PersistError(
+                    f"malformed machine spec {value['spec']!r}: {error}"
+                ) from error
         if "bd" in value:
             total, compute, memory, overhead, cores = value["bd"]
             return TimingBreakdown(total, compute, memory, overhead, cores)
@@ -123,8 +128,16 @@ def encode_entry(
 
 
 def decode_entry(row: list) -> tuple[str, tuple, TimingBreakdown]:
-    """Inverse of :func:`encode_entry` (raises on malformed rows)."""
+    """Inverse of :func:`encode_entry`.
+
+    Raises :class:`PersistError` (never a bare ``TypeError``/unpacking
+    error) on malformed rows, so loaders can name the offending entry.
+    """
+    if not isinstance(row, (list, tuple)) or len(row) != 3:
+        raise PersistError(f"malformed cache entry row: {row!r}")
     level, key, breakdown = row
+    if not isinstance(level, str):
+        raise PersistError(f"malformed cache entry level in row: {row!r}")
     decoded_key = decode_value(key)
     decoded_breakdown = decode_value(breakdown)
     if not isinstance(decoded_key, tuple) or not isinstance(

@@ -261,6 +261,52 @@ class CacheStats:
         }
 
 
+class CacheFormatError(ValueError):
+    """A cache file is malformed: names the file and what offended.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    call sites keep working; new call sites can catch this precisely
+    (and consult :attr:`path`/:attr:`detail`) or pass ``salvage=True``
+    to :meth:`ExecutionCache.load` to recover the valid prefix instead.
+    """
+
+    def __init__(self, path, detail: str):
+        super().__init__(f"cache file {path}: {detail}")
+        self.path = Path(path)
+        self.detail = detail
+
+
+def _salvage_rows(text: str) -> list:
+    """The longest valid prefix of entry rows in a truncated save file.
+
+    Save files are one compact JSON object whose ``"entries"`` array
+    holds one row per cache entry; a torn write cuts the array mid-row,
+    making the whole document unparseable.  Walking rows with
+    ``raw_decode`` recovers every complete row before the tear.
+    """
+    marker = '"entries":['
+    start = text.find(marker)
+    if start < 0:
+        marker = '"entries": ['
+        start = text.find(marker)
+        if start < 0:
+            return []
+    decoder = json.JSONDecoder()
+    position = start + len(marker)
+    rows = []
+    while position < len(text):
+        while position < len(text) and text[position] in ", \t\n\r":
+            position += 1
+        if position >= len(text) or text[position] == "]":
+            break
+        try:
+            row, position = decoder.raw_decode(text, position)
+        except json.JSONDecodeError:
+            break
+        rows.append(row)
+    return rows
+
+
 class ExecutionCache:
     """Two-level LRU of timing results.
 
@@ -447,6 +493,37 @@ class ExecutionCache:
         with self._lock:
             return list(self._schedule_entries.items())
 
+    def begin_journal(self) -> None:
+        """Start journaling *without* the first-drain full export.
+
+        For a warm-started replacement worker everything currently in
+        the cache is already known to its peers, so the next
+        :meth:`drain_updates` should ship only genuinely new entries —
+        the default first-drain semantics would re-broadcast the whole
+        store through the next sync.
+        """
+        with self._lock:
+            self._journaling = True
+            self._journal_overflow = False
+            self._updates.clear()
+
+    def export_entries(self) -> list[tuple[str, tuple, TimingBreakdown]]:
+        """Snapshot of *all* entries in :meth:`drain_updates` format.
+
+        Unlike a drain this does not consume the journal: it is the
+        warm-start payload a supervisor ships to a respawned rollout
+        worker, whose fresh cache would otherwise miss every entry its
+        predecessor (and past syncs) had already paid for.
+        """
+        with self._lock:
+            return [
+                ("nest", key, value)
+                for key, value in self._entries.items()
+            ] + [
+                ("schedule", key, value)
+                for key, value in self._schedule_entries.items()
+            ]
+
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: str | Path) -> int:
@@ -459,7 +536,13 @@ class ExecutionCache:
         a byte-identical file.  Entries whose keys fall outside the
         persistable space (e.g. exotic plugin annotations) are skipped,
         never corrupted.
+
+        The write is atomic (temp + rename) with a ``.sha256`` content
+        sidecar, so a crash mid-save never truncates the previous cache
+        and a torn write is detected on load.  The file's own bytes are
+        unchanged from earlier versions.
         """
+        from ..fault.atomic import atomic_write_text
         from .persist import encode_entry
 
         with self._lock:
@@ -476,34 +559,88 @@ class ExecutionCache:
                 rows.append(row)
         rows.sort(key=lambda row: json.dumps(row, sort_keys=True))
         payload = {"version": 1, "entries": rows}
-        Path(path).write_text(
-            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        atomic_write_text(
+            Path(path),
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
         )
         return len(rows)
 
-    def load(self, path: str | Path) -> int:
+    def load(self, path: str | Path, salvage: bool = False) -> int:
         """Absorb entries from a :meth:`save` file; returns how many
         were new.  Loaded timings are bit-identical to the saved ones,
         and keys stay spec-keyed (a reconstructed
         :class:`~repro.machine.spec.MachineSpec` compares equal to the
         registered one), so a warm cache survives restarts.
+
+        Malformed files raise :class:`CacheFormatError` naming the file
+        and the offending entry; a ``feature_version`` mismatch (files
+        written by a different feature pipeline) is ignored with a
+        warning rather than poisoning the cache.  With ``salvage=True``
+        a corrupt/truncated file loads its valid prefix of entries
+        instead, and a warning reports how much was dropped.
         """
+        import warnings
+
+        from ..fault.atomic import CorruptArtifactError, verify_checksum
         from .persist import PersistError, decode_entry
 
-        payload = json.loads(Path(path).read_text())
-        version = payload.get("version")
-        if version != 1:
-            raise ValueError(
-                f"unsupported cache file version {version!r} in {path}"
+        path = Path(path)
+        text = path.read_text()
+        try:
+            verify_checksum(path)
+        except CorruptArtifactError:
+            if not salvage:
+                raise
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            if not salvage:
+                raise CacheFormatError(
+                    path, f"malformed JSON: {error}"
+                ) from error
+            payload = None
+        if payload is not None and not isinstance(payload, dict):
+            raise CacheFormatError(
+                path, f"expected a JSON object, got {type(payload).__name__}"
             )
+        if payload is not None:
+            version = payload.get("version")
+            if version != 1:
+                raise CacheFormatError(
+                    path, f"unsupported cache file version {version!r}"
+                )
+            feature_version = payload.get("feature_version")
+            if feature_version is not None:
+                from .dataset import FEATURE_VERSION
+
+                if feature_version != FEATURE_VERSION:
+                    warnings.warn(
+                        f"ignoring cache file {path}: feature_version "
+                        f"{feature_version!r} != current {FEATURE_VERSION!r}",
+                        stacklevel=2,
+                    )
+                    return 0
+            rows = payload.get("entries", [])
+        else:
+            rows = _salvage_rows(text)
         updates = []
-        for row in payload.get("entries", []):
+        dropped = 0
+        for row in rows:
             try:
                 updates.append(decode_entry(row))
-            except (PersistError, TypeError, ValueError) as error:
-                raise ValueError(
-                    f"corrupt cache entry in {path}: {error}"
-                ) from error
+            except (PersistError, TypeError, ValueError, KeyError) as error:
+                if not salvage:
+                    raise CacheFormatError(
+                        path, f"corrupt cache entry {row!r}: {error}"
+                    ) from error
+                dropped += 1
+        if salvage and (payload is None or dropped):
+            warnings.warn(
+                f"salvaged {len(updates)} cache entries from {path}"
+                + (f"; dropped {dropped} corrupt entries" if dropped else "")
+                + ("" if payload is not None else " (truncated file)"),
+                stacklevel=2,
+            )
         return self.absorb_updates(updates)
 
     def clear(self) -> None:
@@ -596,7 +733,15 @@ def retargeted_executor(executor: Executor, spec: MachineSpec) -> Executor:
     warm timings of other machines stay valid and can never replay
     across specs; plain executors are rebuilt on the new spec.  The
     one ``set_machine`` retarget rule shared by every environment.
+
+    Executors that know how to retarget themselves (e.g. the fault
+    layer's :class:`~repro.fault.guard.GuardedExecutor`, which must keep
+    its policy and quarantine wrapped around the retargeted inner
+    executor) expose a ``retargeted(spec)`` method and are deferred to.
     """
+    retarget = getattr(executor, "retargeted", None)
+    if callable(retarget):
+        return retarget(spec)
     cache = getattr(executor, "cache", None)
     if cache is not None:
         return CachingExecutor(spec, cache=cache)
@@ -625,7 +770,11 @@ def pooled_executor(
         from .registry import spec as resolve
 
         spec = resolve(spec)
-    with _POOL_LOCK:
+    # Capture the lock once: an at-fork callback rebinding the module
+    # global mid-call must not make acquire and release see different
+    # lock objects.
+    lock = _POOL_LOCK
+    with lock:
         executor = _POOL.get(spec)
         if executor is None:
             executor = CachingExecutor(spec)
@@ -634,9 +783,18 @@ def pooled_executor(
 
 
 def reset_pool() -> None:
-    """Drop all pooled executors (test isolation)."""
-    with _POOL_LOCK:
-        _POOL.clear()
+    """Drop all pooled executors (test isolation).
+
+    Idempotent and thread-safe: concurrent resets (including one racing
+    an at-fork callback) each rebind the pool to a fresh dict rather
+    than mutating a dict another caller may be iterating, so a double
+    reset is a no-op and readers see either the old or the new pool,
+    never a half-cleared one.
+    """
+    global _POOL
+    lock = _POOL_LOCK
+    with lock:
+        _POOL = {}
 
 
 def _reset_pool_after_fork() -> None:
@@ -645,10 +803,13 @@ def _reset_pool_after_fork() -> None:
     A child forked mid-``pooled_executor`` would otherwise inherit a
     lock held by a parent thread that does not exist in the child, and
     would share cache *state* sized/counted for the parent process.
+    Rebinds (never mutates) both globals — the child is single-threaded
+    at this point, and any parent thread mid-operation on the old
+    objects held only the old lock.
     """
-    global _POOL_LOCK
+    global _POOL_LOCK, _POOL
     _POOL_LOCK = threading.Lock()
-    _POOL.clear()
+    _POOL = {}
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only

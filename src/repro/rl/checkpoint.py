@@ -28,7 +28,6 @@ narrower agent) cannot be reconciled and raises.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 import numpy as np
@@ -142,15 +141,38 @@ def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
 
     The per-iteration training-state snapshot overwrites its previous
     self; a kill landing mid-write must never leave a truncated archive
-    as the only resumable state.
+    as the only resumable state.  The finished archive's SHA-256 lands
+    in a ``.sha256`` sidecar (the archive's own bytes are untouched), so
+    a *torn* write that still renamed is caught on load.
     """
+    from ..fault.atomic import finalize_atomic
+
     if path.suffix != ".npz":
         # np.savez appends .npz to extension-less paths; mirror that so
         # the rename target matches what callers will later np.load.
         path = path.with_name(path.name + ".npz")
     temporary = path.with_name(path.name + ".tmp.npz")
     np.savez_compressed(temporary, **arrays)
-    os.replace(temporary, path)
+    finalize_atomic(temporary, path)
+
+
+def _verified_load(path: str | Path):
+    """``np.load`` behind the checksum sidecar (legacy files skip it).
+
+    Raises :class:`~repro.fault.atomic.CorruptArtifactError` on a
+    mismatch — a clear message naming the file, instead of numpy's
+    zipfile errors on a truncated archive.
+    """
+    from ..fault.atomic import verify_checksum
+
+    path = Path(path)
+    if path.suffix != ".npz" and not path.exists():
+        # mirror np.savez's extension append for the sidecar lookup
+        with_suffix = path.with_name(path.name + ".npz")
+        if with_suffix.exists():
+            path = with_suffix
+    verify_checksum(path)
+    return np.load(path)
 
 
 def save_agent(agent: ActorCritic, path: str | Path) -> None:
@@ -227,7 +249,7 @@ def load_agent(agent: ActorCritic, path: str | Path) -> None:
     spec-conditioned agent with the machine block's input weights
     initialized to zero.
     """
-    archive = np.load(Path(path))
+    archive = _verified_load(path)
     pad = _input_pad_for(agent.config, _archive_metadata(archive))
     _restore_parameters(archive, "policy", agent.policy.parameters(), pad)
     _restore_parameters(archive, "value", agent.value.parameters(), pad)
@@ -304,7 +326,11 @@ def load_training_state(trainer: PPOTrainer, path: str | Path) -> dict:
     ``trainer.train(n)`` continues the run as if it had never stopped.
     Returns the archive's metadata dict.
     """
-    archive = np.load(Path(path), allow_pickle=False)
+    from ..fault.atomic import verify_checksum
+
+    path = Path(path)
+    verify_checksum(path)
+    archive = np.load(path, allow_pickle=False)
     if "metadata_json" not in archive:
         raise ValueError(
             f"{path} is not a training state (no metadata); it looks "

@@ -263,12 +263,15 @@ class TestResume:
 
     def test_snapshot_overwrite_is_atomic(self, tmp_path):
         """Per-iteration saves replace the file whole; no stale temp
-        files accumulate and the target always loads."""
+        files accumulate (only the checksum sidecar rides along) and
+        the target always loads."""
         path = tmp_path / "state.npz"
         trainer = _make_trainer()
         trainer.train(2, state_path=str(path))
         leftovers = [
-            p for p in tmp_path.iterdir() if p.name != "state.npz"
+            p
+            for p in tmp_path.iterdir()
+            if p.name not in ("state.npz", "state.npz.sha256")
         ]
         assert leftovers == []
         probe = _make_trainer()
