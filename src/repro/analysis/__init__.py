@@ -14,11 +14,38 @@ Three layers, each built on the one below:
   analyzer (``EnvConfig.verify_transforms``), plus the generator-universe
   sweep the CI acceptance gate runs.
 
+Two sibling layers feed the *search* side rather than legality:
+
+* :mod:`.canonical` — schedule canonicalization: a stable canonical key
+  under which structurally equivalent transformation sequences (and
+  no-op records) collapse, used by the execution cache's canonical
+  memoization level and the beam/greedy pruning layer;
+* :mod:`.bounds` — symbolic cost bounds: monotone lower/upper bounds on
+  iteration work and cache traffic computed directly from schedule
+  state (no lowering), letting search prove that no completion of a
+  prefix can beat the incumbent.
+
 The analyzer is load-bearing, not a linter: the ``parallelization``
 transform plugin (:mod:`repro.transforms.parallelization`) takes its
 legality mask directly from :func:`analyze_op`.
 """
 
+from .bounds import (
+    PruneAuditReport,
+    TrafficBounds,
+    WorkBounds,
+    completion_lower_seconds,
+    prune_audit,
+    traffic_bounds,
+    work_bounds,
+)
+from .canonical import (
+    CanonicalSweepStats,
+    canonical_form,
+    canonical_op_key,
+    canonical_schedule_key,
+    canonical_sweep,
+)
 from .dependence import (
     Dependence,
     DependenceGraph,
@@ -41,6 +68,7 @@ from .verifier import (
 )
 
 __all__ = [
+    "CanonicalSweepStats",
     "Dependence",
     "DependenceGraph",
     "DependenceKind",
@@ -49,10 +77,21 @@ __all__ = [
     "DifferentialStats",
     "FlowEdge",
     "OpDependences",
+    "PruneAuditReport",
+    "TrafficBounds",
     "Violation",
+    "WorkBounds",
     "analyze_op",
+    "canonical_form",
+    "canonical_op_key",
+    "canonical_schedule_key",
+    "canonical_sweep",
+    "completion_lower_seconds",
     "differential_sweep",
     "evaluate_scheduled_op_racy",
+    "prune_audit",
     "reduction_order_preserved",
+    "traffic_bounds",
     "verify_schedule",
+    "work_bounds",
 ]

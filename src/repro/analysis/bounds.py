@@ -1,0 +1,334 @@
+"""Symbolic cost bounds for schedule *prefixes* — no lowering, no timing.
+
+Search expands a prefix of transformation records and asks: can *any*
+completion of this prefix beat the incumbent?  The machine model can
+only answer by lowering and timing candidate completions; this module
+answers a weaker question soundly and for free, straight from
+:class:`~repro.transforms.scheduled_op.ScheduledOp` state:
+
+* :func:`work_bounds` — iteration-point bounds.  The executed point
+  count is *monotone non-decreasing* under every further transform
+  (tiling rounds partial tiles up: ``ceil(e/t)*t >= e``; interchange /
+  vectorization / stop leave it unchanged; fusion only adds recomputed
+  producer points), so the current count lower-bounds every completion.
+* :func:`traffic_bounds` — last-level cache-traffic bounds using the
+  same rectangle-footprint vocabulary as :mod:`repro.machine.traffic`.
+  The lower bound counts only elements *guaranteed* in-bounds and
+  visited at the original extents, so it too survives any completion.
+* :func:`completion_lower_seconds` — a floor on the machine-model time
+  of any completion, mirroring the hard constants of
+  :mod:`repro.machine.timing`: at least 0.25 cycles per point (the
+  issue-width floor), at most ``spec.vector_lanes`` points per cycle
+  per core, at most ``spec.cores`` cores, plus the unavoidable launch
+  overhead.  ``lower > incumbent`` proves the prefix dead.
+
+The :func:`prune_audit` harness closes the loop: it replays pruned
+search states and exhaustively re-evaluates their completions, checking
+no pruned prefix could have beaten the schedule the search returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..transforms.loop_nest import Access
+from ..transforms.lowering import access_patterns
+from ..transforms.pipeline import ScheduledFunction
+from ..transforms.scheduled_op import ScheduledOp, TransformError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..env.config import EnvConfig
+    from ..ir.ops import LinalgOp
+    from ..machine.spec import MachineSpec
+
+#: The timing model's cycles-per-point floor (``repro.machine.timing``
+#: clamps cycles-per-iteration at ``max(..., 0.25)``).
+_MIN_CYCLES_PER_POINT = 0.25
+
+
+def _element_bytes(accesses: Sequence[Access]) -> int:
+    """Mirror of ``timing._element_bytes``: the op's vector element size."""
+    for access in accesses:
+        if access.is_write:
+            return access.element_bytes
+    if accesses:
+        return accesses[0].element_bytes
+    return 4
+
+
+# ---------------------------------------------------------------------------
+# Iteration-work bounds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkBounds:
+    """Iteration-point bounds for a schedule prefix.
+
+    ``completion_lower`` holds for *every* legal completion of the
+    prefix; ``completion_upper`` assumes at most ``remaining`` further
+    transforms, each able to tile every loop once (each tiling of an
+    extent-``e`` loop inflates its points by ``ceil(e/t)*t/e < 2``).
+    """
+
+    current: int
+    completion_lower: int
+    completion_upper: int
+
+
+def work_bounds(schedule: ScheduledOp, remaining: int = 0) -> WorkBounds:
+    """Monotone bounds on executed iteration points (see module doc)."""
+    current = schedule.total_points()
+    upper = current * 2 ** (max(0, remaining) * schedule.num_loops)
+    return WorkBounds(
+        current=current, completion_lower=current, completion_upper=upper
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache-traffic bounds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrafficBounds:
+    """Last-level (DRAM-side) traffic bounds in bytes.
+
+    ``lower_bytes`` is completion-monotone: it counts one cold miss per
+    cache line of the guaranteed in-bounds footprint at the *original*
+    extents, which every completion still visits.  ``upper_bytes``
+    bounds the *current* state only (one line fetch per access per
+    executed point) — completions that add points raise it, so it is a
+    sandwich bound for validation, not a pruning bound.
+    """
+
+    lower_bytes: int
+    upper_bytes: int
+
+
+def _in_bounds_floor_elems(
+    access: Access, extents: Sequence[int]
+) -> int:
+    """Distinct elements of ``access`` provably visited in-bounds.
+
+    Sound only for *separable unit-stride* patterns: every loop dim
+    appears in at most one tensor dim's index row, all nonzero
+    coefficients are exactly 1, and all row constants are >= 0.  Then
+    each row's index sweeps a contiguous in-bounds range independently,
+    so the visited element set contains the full cross product of the
+    per-row ranges.  Anything else conservatively contributes 0.
+    """
+    if not access.matrix:
+        return 1  # rank-0: one scalar element
+    used: set[int] = set()
+    for row in access.matrix:
+        if row[-1] < 0:
+            return 0
+        for dim, coeff in enumerate(row[:-1]):
+            if coeff == 0:
+                continue
+            if coeff != 1 or dim in used:
+                return 0
+            used.add(dim)
+    total = 1
+    for row, tensor_extent in zip(access.matrix, access.tensor_shape):
+        span = 1 + sum(
+            extents[dim] - 1
+            for dim, coeff in enumerate(row[:-1])
+            if coeff != 0
+        )
+        count = min(span, tensor_extent - row[-1])
+        if count <= 0:
+            return 0
+        total *= count
+    return total
+
+
+def traffic_bounds(
+    schedule: ScheduledOp, spec: "MachineSpec"
+) -> TrafficBounds:
+    """DRAM-traffic bounds of a schedule prefix (see :class:`TrafficBounds`).
+
+    Lower bound: per tensor, the largest guaranteed in-bounds footprint
+    over its accesses, in cache lines — every distinct line cold-misses
+    at least once, tensors never share a line (line-aligned disjoint
+    allocation), and out-of-bounds overshoot from tile rounding only
+    *adds* misses.  Upper bound: every access of every executed point
+    misses at most one full line.
+    """
+    accesses = access_patterns(schedule.op)
+    points = schedule.total_points()
+    upper = points * len(accesses) * spec.line_bytes
+    lines_per_tensor: dict[int, int] = {}
+    for access in accesses:
+        elems = _in_bounds_floor_elems(access, schedule.original_extents)
+        lines = ceil(elems * access.element_bytes / spec.line_bytes)
+        if elems <= 0:
+            lines = 0
+        previous = lines_per_tensor.get(access.tensor_id, 0)
+        lines_per_tensor[access.tensor_id] = max(previous, lines)
+    lower = sum(lines_per_tensor.values()) * spec.line_bytes
+    return TrafficBounds(lower_bytes=lower, upper_bytes=upper)
+
+
+# ---------------------------------------------------------------------------
+# Completion time floor (the pruning bound)
+# ---------------------------------------------------------------------------
+
+
+def completion_lower_seconds(
+    schedule: ScheduledOp, spec: "MachineSpec"
+) -> float:
+    """A machine-model time no completion of this prefix can beat.
+
+    Every completion executes at least the prefix's current point count
+    (work monotonicity above); the timing model charges at least
+    ``0.25`` cycles per point, retires at most ``vector_lanes`` points
+    per cycle per core on at most ``spec.cores`` cores, and always adds
+    ``op_launch_seconds`` on top of ``max(compute, memory)``.  Valid for
+    the op's *own* nest time — callers must not apply it to ops fused
+    into a consumer (their cost is priced inside the root's nest), and
+    registered lowering hooks must not shrink the executed point count
+    (unrolling replicates bodies; it never skips points).
+    """
+    accesses = access_patterns(schedule.op)
+    lanes = max(1, spec.vector_lanes(_element_bytes(accesses)))
+    compute_floor = (
+        schedule.total_points()
+        * _MIN_CYCLES_PER_POINT
+        / lanes
+        / spec.frequency
+        / spec.cores
+    )
+    return compute_floor + spec.op_launch_seconds
+
+
+# ---------------------------------------------------------------------------
+# Prune audit: prove pruning never lost a winner
+# ---------------------------------------------------------------------------
+
+_MAX_EXAMPLES = 10
+
+
+@dataclass
+class PruneAuditReport:
+    """Outcome of one :func:`prune_audit` run."""
+
+    programs: int = 0
+    #: bound-pruned search states replayed
+    pruned_states: int = 0
+    #: completion states exhaustively re-evaluated across all replays
+    completions_checked: int = 0
+    #: pruned prefixes whose best completion beat the search result
+    violations: int = 0
+    #: total candidates the pruned searches pruned (both mechanisms)
+    pruned_canonical: int = 0
+    pruned_bounds: int = 0
+    examples: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        if len(self.examples) < _MAX_EXAMPLES:
+            self.examples.append(message)
+
+
+def _min_completion_seconds(
+    agent: object,
+    scheduled: ScheduledFunction,
+    op: "LinalgOp",
+    steps_left: int,
+    report: PruneAuditReport,
+) -> float:
+    """Exhaustive best machine-model time over all completions."""
+    from ..baselines.reference_agent import (
+        BeamSearchAgent,
+        candidate_transformations,
+    )
+
+    assert isinstance(agent, BeamSearchAgent)
+    best = agent._local_seconds(scheduled, op)
+    report.completions_checked += 1
+    if steps_left <= 0:
+        return best
+    schedule = scheduled.schedule_of(op)
+    has_producer = scheduled.fusable_producer_of(op) is not None
+    for record in candidate_transformations(
+        schedule, has_producer, agent.config
+    ):
+        clone = scheduled.clone()
+        try:
+            clone.apply(op, record)
+        except TransformError:
+            continue
+        best = min(
+            best,
+            _min_completion_seconds(
+                agent, clone, op, steps_left - 1, report
+            ),
+        )
+    return best
+
+
+def prune_audit(
+    num_programs: int = 10,
+    seed: int = 0,
+    config: "EnvConfig | None" = None,
+    spec: "MachineSpec | None" = None,
+    beam_width: int = 2,
+    strict: bool = True,
+) -> PruneAuditReport:
+    """Exhaustively verify bound pruning on a small search universe.
+
+    Runs the pruned beam search with ``capture_pruned`` over generated
+    programs, then for every bound-pruned prefix enumerates *all* its
+    completions (up to the schedule-length budget) and re-evaluates them
+    on the machine model.  A sound bound guarantees none beats the
+    score the search settled on for that op; ``strict`` raises on the
+    first violation.  Canonical-pruned states need no re-evaluation —
+    an equal-key state with identical score stayed in the frontier.
+    """
+    from ..baselines.reference_agent import BeamSearchAgent
+    from ..datasets.generator import FULL_STAGE, generate_program
+    from ..env.config import small_config
+
+    if config is None:
+        config = small_config(max_loops=6, max_schedule_length=2)
+    rng = np.random.default_rng(seed)
+    report = PruneAuditReport()
+    for _ in range(num_programs):
+        func = generate_program(rng, FULL_STAGE)
+        agent = BeamSearchAgent(
+            spec=spec,
+            beam_width=beam_width,
+            config=config,
+            prune=True,
+            capture_pruned=True,
+        )
+        agent.optimize(func)
+        report.programs += 1
+        report.pruned_canonical += agent.pruned_canonical
+        report.pruned_bounds += agent.pruned_bounds
+        for entry in agent.prune_log:
+            if entry.kind != "bounds":
+                continue
+            report.pruned_states += 1
+            steps_left = config.max_schedule_length - entry.steps
+            achieved = _min_completion_seconds(
+                agent, entry.scheduled, entry.op, steps_left, report
+            )
+            # Soundness gives achieved >= lower_bound > score at prune
+            # time >= final score; allow only float-rounding slack.
+            if achieved < entry.final_score * (1.0 - 1e-9):
+                report.violations += 1
+                message = (
+                    f"pruned prefix of {entry.op.name} completes to "
+                    f"{achieved!r} < search result {entry.final_score!r} "
+                    f"(bound {entry.lower_bound!r})"
+                )
+                report.note(message)
+                if strict:
+                    raise AssertionError(message)
+    return report

@@ -1,0 +1,464 @@
+"""Schedule canonicalization: canonical keys and normal forms.
+
+The action space is redundant — many transform sequences lower to the
+same loop nest.  The clearest case is band partitioning: lowering
+flattens every tile band into one outer loop list
+(:func:`~repro.transforms.lowering.lower_scheduled_op` walks
+``bands -> band.loops`` in order), so ``T(a,0); T(0,b)`` (two bands) and
+``T(a,b)`` (one band) produce byte-identical nests even though their
+:meth:`~repro.transforms.scheduled_op.ScheduledOp.state_key` differs.
+Likewise identity interchanges, no-op stops, and commuting reorderings
+of records leave the state unchanged.
+
+:func:`canonical_op_key` normalizes the state into a key that is *equal
+exactly when the lowered nest (and therefore the deterministic machine
+model's timing) is identical*:
+
+* for ops without fused producers, the band partition is flattened —
+  only the flat ``(dim, trip, tile, parallel)`` loop list survives,
+  which is precisely what lowering reads;
+* for ops *with* fused producers the exact band structure is kept:
+  :func:`~repro.transforms.fusion.recompute_factor` and
+  ``FusedProducer.band_index`` anchor fused semantics to individual
+  bands, so the partition is observable there;
+* records whose spec does not implement
+  :meth:`~repro.transforms.registry.TransformSpec.canonicalize` are
+  carried verbatim ("opaque"): a plugin keeping state outside
+  ``state_key`` can never be folded into a collision.
+
+The key is therefore strictly coarser than ``schedule_key`` on the
+built-in transform set and never coarser than the lowered nest — the
+invariant the :func:`canonical_sweep` differential check enforces over
+the generator universe.  Everything here is pure analysis: nothing is
+lowered, nothing is timed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..transforms.pipeline import ScheduledFunction
+from ..transforms.records import (
+    Interchange,
+    NoTransformation,
+    TiledFusion,
+    Tiling,
+    Transformation,
+)
+from ..transforms.registry import spec_for_record
+from ..transforms.scheduled_op import ScheduledOp, TransformError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..env.config import EnvConfig
+    from ..ir.ops import FuncOp, LinalgOp
+    from ..machine.spec import MachineSpec
+
+#: A canonical key is an opaque structural tuple; only equality matters.
+CanonicalKey = tuple
+
+
+def _opaque_records(schedule: ScheduledOp) -> tuple:
+    """The verbatim payload of records no spec canonicalizes.
+
+    Order is preserved: two schedules differing in opaque-record order
+    must not collide (a conservative plugin may be order-sensitive in
+    state the ``state_key`` cannot see).
+    """
+    out = []
+    for record in schedule.history:
+        spec = spec_for_record(type(record))
+        normalized = (
+            None if spec is None else spec.canonicalize(schedule, record)
+        )
+        if normalized is None:
+            out.append((type(record).__name__, repr(record)))
+    return tuple(out)
+
+
+def canonical_op_key(
+    schedule: ScheduledOp, op_index: dict[int, int] | None = None
+) -> CanonicalKey:
+    """The canonical key of one op's schedule state.
+
+    Same contract as ``state_key`` (``op_index`` resolves fused-producer
+    links to identity-free body positions, raising ``KeyError`` for
+    producers outside the index), but normalized: equal canonical keys
+    mean structurally identical lowered nests, hence bit-identical
+    machine-model timings.
+    """
+    if schedule.fused:
+        # Fused semantics (recompute factors, producer anchoring) read
+        # the band *partition*, not just the flat loop list — keep it.
+        bands: tuple = (
+            "banded",
+            tuple(
+                (
+                    band.parallel,
+                    tuple(
+                        (loop.dim, loop.trip, loop.tile, loop.parallel)
+                        for loop in band.loops
+                    ),
+                )
+                for band in schedule.bands
+            ),
+        )
+    else:
+        bands = (
+            "flat",
+            tuple(
+                (loop.dim, loop.trip, loop.tile, loop.parallel)
+                for band in schedule.bands
+                for loop in band.loops
+            ),
+        )
+    if op_index is None:
+        fused: object = len(schedule.fused)
+    else:
+        fused = tuple(
+            (op_index[id(entry.producer.op)], entry.band_index)
+            for entry in schedule.fused
+        )
+    from ..transforms.scheduled_op import freeze_annotations
+
+    return (
+        tuple(schedule.extents),
+        tuple(schedule.order),
+        bands,
+        schedule.vectorized,
+        schedule.fused_into is not None,
+        fused,
+        freeze_annotations(schedule.annotations),
+        _opaque_records(schedule),
+    )
+
+
+def canonical_schedule_key(
+    scheduled: ScheduledFunction,
+) -> CanonicalKey | None:
+    """Whole-function canonical key (the shape of ``schedule_key``).
+
+    One :func:`canonical_op_key` per body op (None for never-scheduled
+    ops); returns None when the state cannot be keyed — callers then
+    fall back to exact keys or the uncached path, exactly like the
+    schedule-level execution cache does.
+    """
+    op_index = {id(op): i for i, op in enumerate(scheduled.func.body)}
+    parts = []
+    for op in scheduled.func.body:
+        schedule = scheduled._schedules.get(id(op))
+        if schedule is None or _is_baseline(schedule):
+            # A lazily-materialized schedule holding only no-op records
+            # lowers exactly like a never-scheduled op: same entry.
+            parts.append(None)
+            continue
+        try:
+            parts.append(canonical_op_key(schedule, op_index))
+        except KeyError:
+            return None
+    return tuple(parts)
+
+
+def _is_baseline(schedule: ScheduledOp) -> bool:
+    """True when the schedule state still lowers as the baseline nest."""
+    return (
+        not schedule.bands
+        and not schedule.vectorized
+        and schedule.fused_into is None
+        and not schedule.fused
+        and not schedule.annotations
+        and list(schedule.order) == list(range(schedule.num_loops))
+        and not _opaque_records(schedule)
+    )
+
+
+def canonical_form(schedule: ScheduledOp) -> tuple[str, ...]:
+    """Human-readable canonical normal form of one op's schedule.
+
+    Derived from the final state (the thing the key hashes), not from
+    the history, so equivalent action orderings render identically.
+    """
+    lines: list[str] = []
+    flat = [loop for band in schedule.bands for loop in band.loops]
+    for loop in flat:
+        flags = ", parallel" if loop.parallel else ""
+        lines.append(
+            f"tile d{loop.dim} x{loop.trip} (tile {loop.tile}{flags})"
+        )
+    if schedule.order != list(range(schedule.num_loops)):
+        order = ", ".join(f"d{d}" for d in schedule.order)
+        lines.append(f"order: [{order}]")
+    if schedule.vectorized:
+        lines.append("vectorized")
+    if schedule.fused:
+        lines.append(f"fused producers: {len(schedule.fused)}")
+    if schedule.fused_into is not None:
+        lines.append("fused into consumer")
+    for name, payload in _opaque_records(schedule):
+        lines.append(f"opaque: {name} {payload}")
+    if not lines:
+        lines.append("<baseline>")
+    return tuple(lines)
+
+
+# ---------------------------------------------------------------------------
+# Generator-universe differential sweep (the acceptance gate)
+# ---------------------------------------------------------------------------
+
+_MAX_EXAMPLES = 10
+
+
+@dataclass
+class CanonicalSweepStats:
+    """Outcome of one :func:`canonical_sweep` run."""
+
+    programs: int = 0
+    schedules: int = 0
+    #: variants constructed by provably-equivalent record rewrites
+    variants: int = 0
+    #: variant whose canonical key differed from its base (a bug)
+    invariance_failures: int = 0
+    #: equal-canonical-key schedule pairs compared on the interpreter
+    pairs_checked: int = 0
+    #: equal-key pairs whose timings differed (a soundness bug)
+    reward_mismatches: int = 0
+    #: distinct canonical keys that grouped >1 distinct exact key —
+    #: the folding the canonicalizer actually achieved
+    folded_groups: int = 0
+    examples: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        if len(self.examples) < _MAX_EXAMPLES:
+            self.examples.append(message)
+
+    @property
+    def failures(self) -> int:
+        return self.invariance_failures + self.reward_mismatches
+
+
+def _split_tiling_variant(
+    records: list[Transformation], rng: np.random.Generator
+) -> list[Transformation] | None:
+    """Split one multi-position Tiling into an equivalent prefix pair.
+
+    ``T(sizes)`` with tiled positions ``P`` equals ``T(P[:k]); T(P[k:])``
+    because lowering flattens bands in creation order and the split
+    preserves the flat position order; disjoint positions keep every
+    clamped tile identical.  Fusion records anchor to band indices, so
+    ops whose record list contains any fusion are never split.
+    """
+    if any(isinstance(r, TiledFusion) for r in records):
+        return None
+    candidates = [
+        (index, record)
+        for index, record in enumerate(records)
+        if isinstance(record, Tiling)
+        and sum(1 for s in record.sizes if s > 0) >= 2
+    ]
+    if not candidates:
+        return None
+    index, record = candidates[int(rng.integers(len(candidates)))]
+    positions = [p for p, s in enumerate(record.sizes) if s > 0]
+    split = 1 + int(rng.integers(len(positions) - 1))
+    head = tuple(
+        s if p in positions[:split] else 0
+        for p, s in enumerate(record.sizes)
+    )
+    tail = tuple(
+        s if p in positions[split:] else 0
+        for p, s in enumerate(record.sizes)
+    )
+    return records[:index] + [Tiling(head), Tiling(tail)] + records[index + 1:]
+
+
+def _insert_noop_variant(
+    records: list[Transformation],
+    num_loops: int,
+    rng: np.random.Generator,
+) -> list[Transformation] | None:
+    """Insert an identity interchange or a stop record mid-sequence.
+
+    Both leave the schedule state untouched; identity interchange is
+    only legal before any vectorization (and needs >= 2 loops).
+    """
+    terminal = len(records)
+    for index, record in enumerate(records):
+        spec = spec_for_record(type(record))
+        if spec is not None and spec.ends_op:
+            terminal = index
+            break
+    position = int(rng.integers(terminal + 1))
+    if num_loops >= 2 and rng.integers(2) == 0:
+        noop: Transformation = Interchange(tuple(range(num_loops)))
+    else:
+        noop = NoTransformation()
+    return records[:position] + [noop] + records[position:]
+
+
+def _random_records(
+    scheduled: ScheduledFunction,
+    op: "LinalgOp",
+    config: "EnvConfig",
+    steps: int,
+    rng: np.random.Generator,
+) -> list[Transformation]:
+    """Sample a legal record sequence for ``op`` (mutates ``scheduled``)."""
+    from ..baselines.reference_agent import candidate_transformations
+
+    records: list[Transformation] = []
+    for _ in range(steps):
+        schedule = scheduled.schedule_of(op)
+        has_producer = scheduled.fusable_producer_of(op) is not None
+        candidates = candidate_transformations(
+            schedule, has_producer, config
+        )
+        if not candidates:
+            break
+        record = candidates[int(rng.integers(len(candidates)))]
+        try:
+            scheduled.apply(op, record)
+        except TransformError:
+            continue
+        records.append(record)
+        spec = spec_for_record(type(record))
+        if spec is not None and spec.ends_op:
+            break
+    return records
+
+
+def _replay(
+    func: "FuncOp", plan: dict[int, list[Transformation]]
+) -> ScheduledFunction | None:
+    """Apply per-op record lists in body order; None when illegal."""
+    scheduled = ScheduledFunction(func)
+    for op in func.walk_consumers_first():
+        for record in plan.get(id(op), ()):
+            try:
+                scheduled.apply(op, record)
+            except TransformError:
+                return None
+    return scheduled
+
+
+def canonical_sweep(
+    num_programs: int = 500,
+    seed: int = 0,
+    steps_per_op: int = 3,
+    variants_per_program: int = 3,
+    config: "EnvConfig | None" = None,
+    spec: "MachineSpec | None" = None,
+    strict: bool = True,
+) -> CanonicalSweepStats:
+    """Differentially check the canonicalizer over generated programs.
+
+    For each program: build a random legal schedule from the search
+    candidate universe, derive equivalent variants by sound record
+    rewrites (band splits, no-op insertions), then assert
+
+    * **invariance** — every variant's ``canonical_schedule_key`` equals
+      its base's, and
+    * **soundness** — every pair of schedules with equal canonical keys
+      (variants *and* accidental collisions across random schedules) is
+      reward-identical: bit-equal seconds under the interpreter
+      (the deterministic machine-model executor the env rewards with).
+
+    With ``strict`` the first failure raises ``AssertionError``;
+    otherwise failures are counted and exemplified in the stats.
+    """
+    from ..datasets.generator import FULL_STAGE, generate_program
+    from ..env.config import small_config
+    from ..machine.executor import Executor
+    from ..machine.spec import XEON_E5_2680_V4
+
+    if config is None:
+        config = small_config(max_loops=8)
+    if spec is None:
+        spec = XEON_E5_2680_V4
+    executor = Executor(spec)
+    rng = np.random.default_rng(seed)
+    stats = CanonicalSweepStats()
+
+    def fail(kind: str, message: str) -> None:
+        stats.note(message)
+        if kind == "invariance":
+            stats.invariance_failures += 1
+        else:
+            stats.reward_mismatches += 1
+        if strict:
+            raise AssertionError(message)
+
+    for _ in range(num_programs):
+        func = generate_program(rng, FULL_STAGE)
+        base = ScheduledFunction(func)
+        plan: dict[int, list[Transformation]] = {}
+        for op in func.walk_consumers_first():
+            plan[id(op)] = _random_records(
+                base, op, config, steps_per_op, rng
+            )
+        base_key = canonical_schedule_key(base)
+        # (canonical key, exact key, seconds) per evaluated schedule.
+        evaluated: list[tuple[CanonicalKey | None, tuple | None, float]] = [
+            (
+                base_key,
+                base.schedule_key(),
+                executor.run_scheduled(base).seconds,
+            )
+        ]
+        stats.schedules += 1
+
+        for _ in range(variants_per_program):
+            target_ops = [op for op in func.body if plan.get(id(op))]
+            if not target_ops:
+                break
+            op = target_ops[int(rng.integers(len(target_ops)))]
+            records = list(plan[id(op)])
+            if rng.integers(2) == 0:
+                rewritten = _split_tiling_variant(records, rng)
+            else:
+                rewritten = _insert_noop_variant(
+                    records, op.num_loops, rng
+                )
+            if rewritten is None:
+                continue
+            variant_plan = dict(plan)
+            variant_plan[id(op)] = rewritten
+            variant = _replay(func, variant_plan)
+            if variant is None:
+                continue
+            stats.variants += 1
+            stats.schedules += 1
+            key = canonical_schedule_key(variant)
+            if key != base_key:
+                fail(
+                    "invariance",
+                    f"variant of {op.name} changed the canonical key: "
+                    f"{plan[id(op)]} vs {rewritten}",
+                )
+            evaluated.append(
+                (
+                    key,
+                    variant.schedule_key(),
+                    executor.run_scheduled(variant).seconds,
+                )
+            )
+
+        by_key: dict[CanonicalKey, list[tuple[tuple | None, float]]] = {}
+        for key, exact, seconds in evaluated:
+            if key is not None:
+                by_key.setdefault(key, []).append((exact, seconds))
+        for key, group in by_key.items():
+            if len({exact for exact, _ in group}) > 1:
+                stats.folded_groups += 1
+            leader = group[0][1]
+            for _, seconds in group[1:]:
+                stats.pairs_checked += 1
+                if seconds != leader:
+                    fail(
+                        "reward",
+                        "canonical-equal schedules timed differently: "
+                        f"{leader!r} vs {seconds!r}",
+                    )
+        stats.programs += 1
+    return stats

@@ -469,9 +469,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     the function's flow edges; ``--script`` additionally replays a
     schedule script and reports the verifier's violations; ``--sweep N``
     runs the analyzer-vs-predicate differential sweep over N generated
-    programs instead.
+    programs instead.  ``--canonical`` prints each op's canonical normal
+    form for a target, or (without a target) runs the canonical-key
+    reward-invariance sweep; ``--prune-report N`` audits the bound
+    pruning layer by exhaustively completing pruned prefixes.
     """
     from .analysis import DependenceGraph, verify_schedule
+
+    if args.prune_report:
+        from .analysis import prune_audit
+
+        report = prune_audit(
+            num_programs=args.prune_report,
+            seed=args.seed,
+            strict=not args.keep_going,
+        )
+        print(
+            f"prune audit over {report.programs} generated programs: "
+            f"{report.pruned_canonical} canonical + "
+            f"{report.pruned_bounds} bound prune(s), "
+            f"{report.completions_checked} completion(s) re-evaluated, "
+            f"{report.violations} violation(s)"
+        )
+        for example in report.examples:
+            print(f"  violation: {example}")
+        return 0 if report.violations == 0 else 1
+
+    if args.canonical is not None and not args.target:
+        from .analysis import canonical_sweep
+
+        stats = canonical_sweep(
+            num_programs=args.canonical or 500,
+            seed=args.seed,
+            strict=not args.keep_going,
+        )
+        print(
+            f"canonical sweep over {stats.programs} generated programs: "
+            f"{stats.schedules} schedules + {stats.variants} reordered "
+            f"variants, {stats.folded_groups} folded group(s), "
+            f"{stats.invariance_failures} key-invariance failure(s), "
+            f"{stats.reward_mismatches} reward mismatch(es) across "
+            f"{stats.pairs_checked} equal-key schedule(s)"
+        )
+        for example in stats.examples:
+            print(f"  failure: {example}")
+        return 0 if stats.failures == 0 else 1
 
     if args.sweep:
         from .analysis import differential_sweep
@@ -517,6 +559,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         from .transforms.script import apply_script
 
         scheduled = apply_script(func, Path(args.script).read_text())
+        if args.canonical is not None:
+            _print_canonical_forms(scheduled)
         violations = verify_schedule(func, scheduled)
         if not violations:
             print(f"\nschedule {args.script}: no violations")
@@ -525,7 +569,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for violation in violations:
             print(f"  {violation.render()}")
         return 1
+    if args.canonical is not None:
+        from .transforms.pipeline import ScheduledFunction
+
+        _print_canonical_forms(ScheduledFunction(func))
     return 0
+
+
+def _print_canonical_forms(scheduled) -> None:
+    """Render every op's canonical normal form (``analyze --canonical``)."""
+    from .analysis import canonical_form
+
+    print("\ncanonical forms:")
+    for op in scheduled.func.walk_consumers_first():
+        print(f"  {op.name}:")
+        for line in canonical_form(scheduled.schedule_of(op)):
+            print(f"    {line}")
 
 
 def _cmd_cost_export(args: argparse.Namespace) -> int:
@@ -824,10 +883,30 @@ def build_parser() -> argparse.ArgumentParser:
         "random legal actions over N generated programs",
     )
     analyze.add_argument(
+        "--canonical",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="N",
+        help="with a target: print each op's canonical normal form; "
+        "without one: run the canonical-key reward-invariance sweep "
+        "over N generated programs (default 500)",
+    )
+    analyze.add_argument(
+        "--prune-report",
+        type=int,
+        default=0,
+        metavar="N",
+        help="audit the search pruning layer over N generated "
+        "programs: exhaustively complete every bound-pruned prefix "
+        "and check none beats the returned schedule",
+    )
+    analyze.add_argument(
         "--keep-going",
         action="store_true",
-        help="with --sweep: count disagreements instead of stopping "
-        "at the first one",
+        help="with --sweep/--canonical/--prune-report: count failures "
+        "instead of stopping at the first one",
     )
     analyze.add_argument("--seed", type=int, default=0)
     analyze.set_defaults(func=_cmd_analyze)

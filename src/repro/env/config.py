@@ -84,6 +84,12 @@ class EnvConfig:
     #: it is scheduling for.  Off by default: the observation layout —
     #: and therefore checkpoints — stays bit-identical to the paper's.
     machine_features: bool = False
+    #: Mask actions that are provably *redundant* — legal, but leading
+    #: to a state already reachable for free (e.g. completing an
+    #: identity interchange).  Consults each spec's
+    #: ``redundant_param_mask`` hook (:mod:`repro.transforms.registry`).
+    #: Off by default: default masks stay bit-identical.
+    mask_redundant: bool = False
     #: Differential-checker mode: cross-check every mask bit and every
     #: applied transformation against the dependence analyzer
     #: (:mod:`repro.analysis`) during env steps.  Off by default — the

@@ -100,7 +100,12 @@ def compute_mask(
         heads[spec.name] = head
         if head is None or head.mask_key in params:
             continue
-        params[head.mask_key] = spec.param_mask(ctx)
+        mask = spec.param_mask(ctx)
+        if config.mask_redundant:
+            redundant = spec.redundant_param_mask(ctx)
+            if redundant is not None:
+                mask = mask & ~redundant
+        params[head.mask_key] = mask
 
     transformation = np.zeros(len(view), dtype=bool)
     for index, spec in enumerate(view):
@@ -161,7 +166,12 @@ def mask_cache_key(
         fingerprint = analyze_op(schedule.op).fingerprint()
     return (
         *key,
-        (config.transforms, config.verify_transforms, fingerprint),
+        (
+            config.transforms,
+            config.verify_transforms,
+            config.mask_redundant,
+            fingerprint,
+        ),
     )
 
 
@@ -210,7 +220,12 @@ class MaskCache:
             memo = (
                 config,
                 view_for(config).analysis_backed,
-                (config.transforms, config.verify_transforms, None),
+                (
+                    config.transforms,
+                    config.verify_transforms,
+                    config.mask_redundant,
+                    None,
+                ),
             )
             self._config_memo[id(config)] = memo
         _, analysis_backed, suffix = memo
@@ -218,8 +233,7 @@ class MaskCache:
             from ..analysis.dependence import analyze_op
 
             suffix = (
-                suffix[0],
-                suffix[1],
+                *suffix[:-1],
                 analyze_op(schedule.op).fingerprint(),
             )
         return (

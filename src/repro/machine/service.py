@@ -231,6 +231,14 @@ class CacheStats:
     schedule_hits: int = 0
     schedule_misses: int = 0
     schedule_evictions: int = 0
+    #: Canonical-level breakout.  A canonical hit counts one overall hit
+    #: and one ``canonical_hits`` — never a ``schedule_hits``, even
+    #: though the result is promoted into the schedule level — so the
+    #: two levels' breakouts stay disjoint and hit-rate accounting is
+    #: honest about *which* key matched.
+    canonical_hits: int = 0
+    canonical_misses: int = 0
+    canonical_evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -239,9 +247,9 @@ class CacheStats:
     @property
     def evaluations(self) -> int:
         """Cost-model evaluations actually performed (nest-level
-        misses; a schedule-level miss alone evaluates nothing — it only
-        falls through)."""
-        return self.misses - self.schedule_misses
+        misses; a schedule- or canonical-level miss alone evaluates
+        nothing — it only falls through)."""
+        return self.misses - self.schedule_misses - self.canonical_misses
 
     @property
     def hit_rate(self) -> float:
@@ -258,6 +266,9 @@ class CacheStats:
             "schedule_hits": self.schedule_hits,
             "schedule_misses": self.schedule_misses,
             "schedule_evictions": self.schedule_evictions,
+            "canonical_hits": self.canonical_hits,
+            "canonical_misses": self.canonical_misses,
+            "canonical_evictions": self.canonical_evictions,
         }
 
 
@@ -325,9 +336,20 @@ class ExecutionCache:
     across processes — :meth:`drain_updates`/:meth:`absorb_updates`
     ship them between rollout workers.  All mutation is lock-protected,
     so one cache may be shared across threads.
+
+    A third, opt-in **canonical level** (``canonical_maxsize > 0``) keys
+    by :func:`repro.analysis.canonical.canonical_schedule_key`, so
+    *equivalent* schedules reached via different action orders share one
+    timing.  It is local-only: never journaled, drained, exported,
+    saved, or absorbed (see :meth:`canonical_put`).
     """
 
-    def __init__(self, maxsize: int = 8192, schedule_maxsize: int | None = None):
+    def __init__(
+        self,
+        maxsize: int = 8192,
+        schedule_maxsize: int | None = None,
+        canonical_maxsize: int = 0,
+    ):
         if maxsize < 1:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = maxsize
@@ -336,8 +358,19 @@ class ExecutionCache:
         self.schedule_maxsize = (
             maxsize if schedule_maxsize is None else schedule_maxsize
         )
+        #: Opt-in third level keyed by the *canonical* schedule key
+        #: (:func:`repro.analysis.canonical.canonical_schedule_key`):
+        #: equivalent-but-differently-ordered schedules hit one entry.
+        #: Default 0 = off; the canonical level is LOCAL-only — its
+        #: entries are never drained, exported, or saved (peers may run
+        #: with the level off, and exact-key levels already carry the
+        #: ground truth).
+        self.canonical_maxsize = canonical_maxsize
         self._entries: OrderedDict[tuple, TimingBreakdown] = OrderedDict()
         self._schedule_entries: OrderedDict[tuple, TimingBreakdown] = (
+            OrderedDict()
+        )
+        self._canonical_entries: OrderedDict[tuple, TimingBreakdown] = (
             OrderedDict()
         )
         #: keys inserted locally since the last drain (for worker sync).
@@ -426,6 +459,45 @@ class ExecutionCache:
                 self._schedule_entries.popitem(last=False)
                 self.stats.schedule_evictions += 1
 
+    # -- canonical level (opt-in; see __init__) ---------------------------------
+
+    @property
+    def canonical_entries(self) -> int:
+        return len(self._canonical_entries)
+
+    def canonical_get(self, key: tuple) -> TimingBreakdown | None:
+        """Cached breakdown for a *canonical* schedule key, if any.
+
+        Only sound for keys built from
+        :func:`repro.analysis.canonical.canonical_schedule_key`: the
+        canonicalizer guarantees equal keys lower to structurally
+        identical nests, so the replayed breakdown is bit-identical to
+        what re-timing would produce.
+        """
+        if self.canonical_maxsize < 1:
+            return None
+        with self._lock:
+            hit = self._canonical_entries.get(key)
+            if hit is None:
+                self.stats.misses += 1
+                self.stats.canonical_misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.canonical_hits += 1
+            self._canonical_entries.move_to_end(key)
+            return hit
+
+    def canonical_put(self, key: tuple, breakdown: TimingBreakdown) -> None:
+        if self.canonical_maxsize < 1:
+            return
+        with self._lock:
+            self._canonical_entries[key] = breakdown
+            self._canonical_entries.move_to_end(key)
+            # Deliberately not journaled: canonical entries stay local.
+            if len(self._canonical_entries) > self.canonical_maxsize:
+                self._canonical_entries.popitem(last=False)
+                self.stats.canonical_evictions += 1
+
     # -- cross-worker sync ------------------------------------------------------
 
     def drain_updates(self) -> list[tuple[str, tuple, TimingBreakdown]]:
@@ -469,6 +541,12 @@ class ExecutionCache:
         added = 0
         with self._lock:
             for level, key, value in updates:
+                if level == "canonical":
+                    # Canonical entries are local-only: a foreign
+                    # worker's canonicalizer configuration (registered
+                    # specs, hook overrides) may differ, so its
+                    # canonical keys must never be absorbed.
+                    continue
                 if level == "schedule":
                     if self.schedule_maxsize < 1:
                         continue
@@ -647,6 +725,7 @@ class ExecutionCache:
         with self._lock:
             self._entries.clear()
             self._schedule_entries.clear()
+            self._canonical_entries.clear()
             self._updates.clear()
 
 
@@ -664,6 +743,7 @@ class CachingExecutor(Executor):
         spec: MachineSpec = XEON_E5_2680_V4,
         cache: ExecutionCache | None = None,
         maxsize: int = 8192,
+        canonical: bool = False,
     ):
         super().__init__(spec)
         # NB: an empty ExecutionCache is falsy (it has __len__), so the
@@ -671,6 +751,15 @@ class CachingExecutor(Executor):
         self.cache = cache if cache is not None else ExecutionCache(
             maxsize=maxsize
         )
+        #: Opt-in canonical-key lookup: after an exact schedule-key
+        #: miss, try the canonical level — schedules equivalent under
+        #: :mod:`repro.analysis.canonical` replay each other's timings
+        #: (and the hit is promoted to the exact level).  Off by
+        #: default: the default path never touches the canonical level,
+        #: so counters and timings stay bit-identical to the seed.
+        self.canonical = canonical
+        if canonical and self.cache.canonical_maxsize < 1:
+            self.cache.canonical_maxsize = self.cache.maxsize
 
     @property
     def stats(self) -> CacheStats:
@@ -714,15 +803,46 @@ class CachingExecutor(Executor):
             self.cache.schedule_put(key, result.breakdown)
         return result
 
+    def _canonical_key(self, scheduled: ScheduledFunction) -> tuple | None:
+        fingerprint = func_fingerprint(scheduled.func)
+        if fingerprint is None:
+            return None
+        from ..analysis.canonical import canonical_schedule_key
+
+        state = canonical_schedule_key(scheduled)
+        if state is None:
+            return None
+        return (
+            "canonical",
+            self.spec,
+            fingerprint,
+            state,
+            _active_lowering_hooks(),
+        )
+
     def run_scheduled(self, scheduled: ScheduledFunction) -> ExecutionResult:
         key = self._schedule_key(scheduled)
         if key is not None:
             hit = self.cache.schedule_get(key)
             if hit is not None:
                 return ExecutionResult(hit.total, hit)
+        canonical_key = (
+            self._canonical_key(scheduled) if self.canonical else None
+        )
+        if canonical_key is not None:
+            hit = self.cache.canonical_get(canonical_key)
+            if hit is not None:
+                # Promote: canonical-equal schedules lower identically,
+                # so the breakdown is exactly what this schedule's
+                # exact key would store.
+                if key is not None:
+                    self.cache.schedule_put(key, hit)
+                return ExecutionResult(hit.total, hit)
         result = self._timed_nests(scheduled.lower())
         if key is not None:
             self.cache.schedule_put(key, result.breakdown)
+        if canonical_key is not None:
+            self.cache.canonical_put(canonical_key, result.breakdown)
         return result
 
 
@@ -744,7 +864,11 @@ def retargeted_executor(executor: Executor, spec: MachineSpec) -> Executor:
         return retarget(spec)
     cache = getattr(executor, "cache", None)
     if cache is not None:
-        return CachingExecutor(spec, cache=cache)
+        return CachingExecutor(
+            spec,
+            cache=cache,
+            canonical=bool(getattr(executor, "canonical", False)),
+        )
     return type(executor)(spec)
 
 

@@ -1,0 +1,233 @@
+"""Tests for schedule canonicalization (analysis/canonical.py)."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    canonical_form,
+    canonical_op_key,
+    canonical_schedule_key,
+    canonical_sweep,
+)
+from repro.ir import FuncOp, add, empty, matmul, relu, tensor
+from repro.machine import Executor
+from repro.transforms import (
+    Interchange,
+    NoTransformation,
+    ScheduledFunction,
+    ScheduledOp,
+    TiledFusion,
+    Tiling,
+    apply_interchange,
+    apply_tiling,
+    apply_vectorization,
+    lower_scheduled_op,
+)
+from repro.transforms.records import Vectorization
+
+
+def _matmul_op(m=64, n=64, k=64):
+    return matmul(tensor([m, k]), tensor([k, n]), tensor([m, n]))
+
+
+def _chain_func():
+    x, y = tensor([64, 64]), tensor([64, 64])
+    func = FuncOp("chain", [x, y])
+    first = func.append(add(x, y, empty([64, 64])))
+    second = func.append(relu(first.result(), empty([64, 64])))
+    func.returns = [second.result()]
+    return func, first, second
+
+
+def _nest_shape(schedule):
+    nest = lower_scheduled_op(schedule)
+    return [(l.dim, l.trip, l.span, l.parallel) for l in nest.loops]
+
+
+@dataclass(frozen=True)
+class _UnregisteredRecord:
+    """A record type no registry spec knows — must stay opaque."""
+
+    payload: int
+
+
+class TestCanonicalOpKey:
+    def test_split_tiling_folds_to_joint_tiling(self):
+        """T(a,0);T(0,b) and T(a,b) lower identically -> one key."""
+        op = _matmul_op()
+        split = ScheduledOp(op)
+        apply_tiling(split, Tiling((32, 0, 0)))
+        apply_tiling(split, Tiling((0, 8, 0)))
+        joint = ScheduledOp(op)
+        apply_tiling(joint, Tiling((32, 8, 0)))
+        assert split.state_key() != joint.state_key()
+        assert canonical_op_key(split) == canonical_op_key(joint)
+        assert _nest_shape(split) == _nest_shape(joint)
+
+    def test_identity_interchange_folds(self):
+        op = _matmul_op()
+        plain = ScheduledOp(op)
+        looped = ScheduledOp(op)
+        apply_interchange(looped, Interchange((0, 1, 2)))
+        assert canonical_op_key(plain) == canonical_op_key(looped)
+
+    def test_no_transformation_folds(self):
+        func, first, _ = _chain_func()
+        plain = ScheduledFunction(func)
+        stopped = ScheduledFunction(func)
+        stopped.apply(first, NoTransformation())
+        assert canonical_schedule_key(plain) == canonical_schedule_key(
+            stopped
+        )
+
+    def test_distinct_tilings_stay_distinct(self):
+        op = _matmul_op()
+        a = ScheduledOp(op)
+        apply_tiling(a, Tiling((8, 0, 0)))
+        b = ScheduledOp(op)
+        apply_tiling(b, Tiling((16, 0, 0)))
+        assert canonical_op_key(a) != canonical_op_key(b)
+
+    def test_vectorization_changes_key(self):
+        op = _matmul_op(8, 8, 8)
+        plain = ScheduledOp(op)
+        vectorized = ScheduledOp(op)
+        apply_vectorization(vectorized, Vectorization())
+        assert canonical_op_key(plain) != canonical_op_key(vectorized)
+
+    def test_unregistered_record_is_opaque(self):
+        """Plugin records without a canonicalize hook must never fold."""
+        op = _matmul_op()
+        plain = ScheduledOp(op)
+        tainted = ScheduledOp(op)
+        tainted.history.append(_UnregisteredRecord(1))
+        other = ScheduledOp(op)
+        other.history.append(_UnregisteredRecord(2))
+        assert canonical_op_key(plain) != canonical_op_key(tainted)
+        assert canonical_op_key(tainted) != canonical_op_key(other)
+
+    def test_fused_schedules_keep_band_partition(self):
+        """Fusion anchors to bands: partitions must not collapse."""
+        fa, _, second_a = _chain_func()
+        sa = ScheduledFunction(fa)
+        sa.apply(second_a, Tiling((8, 0)))
+        sa.apply(second_a, Tiling((0, 8)))
+        sa.apply(second_a, TiledFusion((4, 4)))
+        fb, _, second_b = _chain_func()
+        sb = ScheduledFunction(fb)
+        sb.apply(second_b, Tiling((8, 8)))
+        sb.apply(second_b, TiledFusion((4, 4)))
+        assert canonical_schedule_key(sa) != canonical_schedule_key(sb)
+
+    def test_equal_keys_time_identically(self):
+        """The cache-safety contract: equal key -> identical timing."""
+        op_kinds = []
+        # Prefix splits: the first record tiles a position-prefix of the
+        # joint tiling, so band loop order (hence the nest) is unchanged.
+        for sizes in [((32, 0, 0), (0, 8, 0)), ((8, 16, 0), (0, 0, 4))]:
+            split_func = FuncOp("f", [])
+            op = split_func.append(_matmul_op())
+            split = ScheduledFunction(split_func)
+            for tile in sizes:
+                split.apply(op, Tiling(tile))
+            joint_func = FuncOp("f", [])
+            op_j = joint_func.append(_matmul_op())
+            joint = ScheduledFunction(joint_func)
+            merged = tuple(max(a, b) for a, b in zip(*sizes))
+            joint.apply(op_j, Tiling(merged))
+            assert canonical_schedule_key(split) == canonical_schedule_key(
+                joint
+            )
+            executor = Executor()
+            op_kinds.append(
+                (
+                    executor.run_scheduled(split).seconds,
+                    executor.run_scheduled(joint).seconds,
+                )
+            )
+        for split_seconds, joint_seconds in op_kinds:
+            assert split_seconds == joint_seconds
+
+
+class TestCanonicalForm:
+    def test_baseline_form(self):
+        assert canonical_form(ScheduledOp(_matmul_op())) == ("<baseline>",)
+
+    def test_form_reads_final_state(self):
+        op = _matmul_op()
+        split = ScheduledOp(op)
+        apply_tiling(split, Tiling((32, 0, 0)))
+        apply_tiling(split, Tiling((0, 8, 0)))
+        joint = ScheduledOp(op)
+        apply_tiling(joint, Tiling((32, 8, 0)))
+        assert canonical_form(split) == canonical_form(joint)
+        assert any("tile d0" in line for line in canonical_form(joint))
+
+
+class TestCanonicalScheduleKey:
+    def test_unscheduled_ops_contribute_none(self):
+        func, first, _ = _chain_func()
+        scheduled = ScheduledFunction(func)
+        scheduled.schedule_of(first)  # materialize only one op
+        key = canonical_schedule_key(scheduled)
+        assert key is not None
+        assert key[1] is None
+
+
+@st.composite
+def _tile_splits(draw):
+    """A tile vector plus a position-ordered prefix/suffix split.
+
+    Only prefix splits preserve band loop order (a non-prefix split is a
+    *different* nest, which the canonicalizer must keep distinct).
+    """
+    tiles = draw(
+        st.lists(
+            st.sampled_from([0, 4, 8, 16, 32]), min_size=3, max_size=3
+        )
+    )
+    if all(t == 0 for t in tiles):
+        tiles[draw(st.integers(0, 2))] = 8
+    positions = [i for i, t in enumerate(tiles) if t]
+    cut = draw(st.integers(0, len(positions)))
+    chosen = set(positions[:cut])
+    first = tuple(t if i in chosen else 0 for i, t in enumerate(tiles))
+    second = tuple(t if i not in chosen else 0 for i, t in enumerate(tiles))
+    return tuple(tiles), first, second
+
+
+class TestKeyInvarianceProperties:
+    @given(_tile_splits())
+    @settings(max_examples=60, deadline=None)
+    def test_any_tiling_split_is_key_invariant(self, splits):
+        tiles, first, second = splits
+        op = _matmul_op(48, 48, 48)
+        joint = ScheduledOp(op)
+        apply_tiling(joint, Tiling(tiles))
+        split = ScheduledOp(op)
+        for record in (first, second):
+            if any(record):
+                apply_tiling(split, Tiling(record))
+        assert canonical_op_key(split) == canonical_op_key(joint)
+        assert _nest_shape(split) == _nest_shape(joint)
+
+
+class TestCanonicalSweep:
+    def test_generator_sweep_reward_invariance(self):
+        """Equal canonical keys must be reward-identical (strict)."""
+        stats = canonical_sweep(num_programs=25, seed=7, strict=True)
+        assert stats.programs == 25
+        assert stats.invariance_failures == 0
+        assert stats.reward_mismatches == 0
+        assert stats.pairs_checked > 0
+        # The sweep must actually exercise folding, not just replays.
+        assert stats.folded_groups > 0
+
+    def test_example_log_is_bounded(self):
+        stats = canonical_sweep(num_programs=2, seed=0, strict=True)
+        for _ in range(50):
+            stats.note("synthetic example")
+        assert len(stats.examples) <= 10

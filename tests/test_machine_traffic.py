@@ -192,3 +192,71 @@ class TestAnalyticalVsSimulated:
         analytical = nest_traffic(nest, spec).into("L3")
         assert analytical >= simulated * 0.2
         assert analytical <= max(simulated * 8, compulsory_bytes(nest) * 4)
+
+
+class TestAccessLinesEdges:
+    """Regression coverage for access_lines corner cases the bounds
+    layer (analysis/bounds.py) leans on."""
+
+    def _cube_access(self):
+        # B[d0, d1, d2] over 3 loops, f32, 4x8x4 tensor
+        return Access(
+            tensor_shape=(4, 8, 4),
+            element_bytes=4,
+            matrix=((1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0)),
+            is_write=False,
+            tensor_id=2,
+        )
+
+    def test_rank_zero_operand_is_one_line(self):
+        """A scalar (rank-0) operand touches exactly one line, for any
+        cover."""
+        scalar = Access(
+            tensor_shape=(),
+            element_bytes=4,
+            matrix=(),
+            is_write=False,
+            tensor_id=0,
+        )
+        for cover in ([1, 1], [64, 64], [128, 1]):
+            assert access_lines(scalar, cover, 64) == 1
+
+    def test_cover_exceeding_extents_clamps(self):
+        """Spans clamp to the tensor extent: an overshooting cover (as
+        tiling 33 by 32 produces) never counts phantom lines."""
+        access = Access(
+            tensor_shape=(64, 64),
+            element_bytes=4,
+            matrix=((1, 0, 0), (0, 1, 0)),
+            is_write=False,
+            tensor_id=1,
+        )
+        full = access_lines(access, [64, 64], 64)
+        assert access_lines(access, [128, 128], 64) == full == 256
+
+    def test_trailing_full_extents_fold_contiguously(self):
+        """Full trailing dims merge into one run: 8x4 f32 = 128B = 2
+        lines, not a line per middle-dim index."""
+        access = self._cube_access()
+        assert access_lines(access, [1, 8, 4], 64) == 2
+
+    def test_partial_trailing_span_pays_line_per_row(self):
+        """A partial last dim breaks contiguity: each of the 8 rows
+        pays its own (partially filled) line."""
+        access = self._cube_access()
+        assert access_lines(access, [1, 8, 2], 64) == 8
+
+    def test_monotone_under_cover_growth(self):
+        """Growing any cover dimension never shrinks the line count —
+        the property the traffic lower bound's maximization relies on."""
+        access = Access(
+            tensor_shape=(64, 64),
+            element_bytes=4,
+            matrix=((1, 0, 0), (0, 1, 0)),
+            is_write=False,
+            tensor_id=1,
+        )
+        covers = [[1, 1], [2, 2], [4, 8], [16, 16], [64, 64], [128, 128]]
+        counts = [access_lines(access, cover, 64) for cover in covers]
+        assert counts == sorted(counts)
+        assert counts[0] == 1 and counts[-1] == 256

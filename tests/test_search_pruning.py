@@ -1,0 +1,79 @@
+"""Tests for the static pruning layer of the beam/greedy search."""
+
+import numpy as np
+
+from repro.baselines import BeamSearchAgent, GreedyAgent
+from repro.datasets import make_matmul
+from repro.env.config import small_config
+
+
+class TestBeamPruning:
+    def test_pruned_beam_matches_unpruned_quality(self):
+        """Canonical dedup + bound cutoffs must not change the returned
+        schedule's score — only how many candidates get evaluated."""
+        config = small_config(max_schedule_length=3)
+        func = make_matmul(64, 64, 64)
+        plain = BeamSearchAgent(beam_width=6, config=config)
+        plain_score = plain.executor.run_scheduled(
+            plain.optimize(func)
+        ).seconds
+        pruned = BeamSearchAgent(beam_width=6, config=config, prune=True)
+        pruned_score = pruned.executor.run_scheduled(
+            pruned.optimize(func)
+        ).seconds
+        assert pruned_score == plain_score
+        assert pruned.candidates_scored < plain.candidates_scored
+        assert pruned.pruned_canonical > 0
+
+    def test_prune_disabled_by_default(self):
+        agent = BeamSearchAgent(beam_width=2, config=small_config())
+        agent.optimize(make_matmul(32, 32, 32))
+        assert agent.prune_candidates == 0
+        assert agent.pruned_canonical == 0
+        assert agent.pruned_bounds == 0
+        assert agent.prune_log == []
+
+    def test_prune_log_empty_without_capture(self):
+        agent = BeamSearchAgent(
+            beam_width=6,
+            config=small_config(max_schedule_length=3),
+            prune=True,
+        )
+        agent.optimize(make_matmul(64, 64, 64))
+        assert agent.pruned_canonical > 0
+        assert agent.prune_log == []
+
+    def test_greedy_prune_passthrough(self):
+        config = small_config(max_schedule_length=3)
+        func = make_matmul(48, 48, 48)
+        plain = GreedyAgent(config=config)
+        plain_score = plain.executor.run_scheduled(
+            plain.optimize(func)
+        ).seconds
+        pruned = GreedyAgent(config=config, prune=True)
+        pruned_score = pruned.executor.run_scheduled(
+            pruned.optimize(func)
+        ).seconds
+        assert pruned_score == plain_score
+        assert pruned.candidates_scored <= plain.candidates_scored
+        assert pruned.prune_candidates > 0
+
+    def test_pruning_works_on_generated_modules(self):
+        """Multi-op generator programs: pruned result matches unpruned."""
+        from repro.datasets.generator import FULL_STAGE, generate_program
+
+        rng = np.random.default_rng(3)
+        config = small_config(max_schedule_length=2)
+        for _ in range(3):
+            func = generate_program(rng, FULL_STAGE)
+            plain = BeamSearchAgent(beam_width=2, config=config)
+            plain_score = plain.executor.run_scheduled(
+                plain.optimize(func)
+            ).seconds
+            pruned = BeamSearchAgent(
+                beam_width=2, config=config, prune=True
+            )
+            pruned_score = pruned.executor.run_scheduled(
+                pruned.optimize(func)
+            ).seconds
+            assert pruned_score == plain_score
